@@ -1,0 +1,123 @@
+"""E10 — design ablations: naive error rate, slack, FILA crossover.
+
+Three studies behind DESIGN.md's design choices:
+
+(a) the naive greedy pruning of §III-A is measurably wrong — its
+    error rate over random clustered deployments is the paper's
+    motivation for γ descriptors;
+(b) MINT's slack knob trades view size against probe traffic (the
+    adaptive controller should land near the per-scenario best); and
+(c) FILA vs MINT on node ranking: filters win on quiet fields, view
+    updates win on volatile ones — the "no universal algorithm"
+    observation that justifies KSpot's per-class routing.
+"""
+
+from repro.core import (
+    Fila,
+    Mint,
+    MintConfig,
+    NaiveTopK,
+    is_valid_top_k,
+    oracle_scores,
+)
+from repro.core.aggregates import make_aggregate
+from repro.scenarios import grid_rooms_scenario, random_rooms_scenario
+from repro.sensing.modalities import get_modality
+
+from conftest import once, report
+
+SCENARIOS = 60
+EPOCHS = 25
+
+
+def naive_error_rate():
+    aggregate = make_aggregate("AVG", 0, 100)
+    modality = get_modality("sound")
+    wrong = 0
+    for seed in range(SCENARIOS):
+        scenario = random_rooms_scenario(rooms=5, sensors_per_room=3,
+                                         seed=seed)
+        naive = NaiveTopK(scenario.network, aggregate, 1, scenario.group_of)
+        result = naive.run_epoch()
+        readings = {n: modality.quantize(scenario.field.value(n, 0))
+                    for n in scenario.group_of}
+        truth = oracle_scores(readings, scenario.group_of, aggregate)
+        wrong += not is_valid_top_k(result.items, truth, 1, tolerance=1e-6)
+    return wrong
+
+
+def slack_sweep():
+    aggregate = make_aggregate("AVG", 0, 100)
+    k = 2
+    rows = []
+    for label, config in (
+        ("slack 0", MintConfig(slack=0)),
+        ("slack k", MintConfig(slack=k)),
+        ("slack 2k", MintConfig(slack=2 * k)),
+        ("adaptive", MintConfig(slack=0, adaptive=True)),
+    ):
+        scenario = grid_rooms_scenario(side=8, rooms_per_axis=4, seed=10)
+        mint = Mint(scenario.network, aggregate, k, scenario.group_of,
+                    config=config)
+        for _ in range(EPOCHS):
+            mint.run_epoch()
+        rows.append([label, scenario.network.stats.payload_bytes,
+                     mint.probes_run, mint.slack])
+    return rows
+
+
+def fila_crossover():
+    aggregate = make_aggregate("AVG", 0, 100)
+    rows = []
+    ratios = {}
+    for label, step, sigma in (("quiet", 0.2, 0.05),
+                               ("volatile", 12.0, 6.0)):
+        byte_counts = {}
+        for name in ("fila", "mint"):
+            scenario = grid_rooms_scenario(side=6, rooms_per_axis=3,
+                                           seed=11, room_step=step,
+                                           sensor_sigma=sigma)
+            nodes = {n: n for n in scenario.group_of}
+            if name == "fila":
+                algorithm = Fila(scenario.network, aggregate, 2)
+            else:
+                algorithm = Mint(scenario.network, aggregate, 2, nodes,
+                                 config=MintConfig(slack=2))
+            for _ in range(EPOCHS):
+                algorithm.run_epoch()
+            byte_counts[name] = scenario.network.stats.payload_bytes
+        ratios[label] = byte_counts["fila"] / byte_counts["mint"]
+        rows.append([label, byte_counts["fila"], byte_counts["mint"],
+                     ratios[label]])
+    return rows, ratios
+
+
+def test_e10a_naive_error_rate(benchmark, table):
+    wrong = once(benchmark, naive_error_rate)
+    table("E10a: naive greedy pruning — TOP-1 over random deployments",
+          ["scenarios", "wrong answers", "error rate %"],
+          [[SCENARIOS, wrong, 100.0 * wrong / SCENARIOS]])
+    # It fails often enough to motivate γ descriptors, but is not
+    # degenerate (if it were always wrong nobody would be tempted).
+    assert 0 < wrong < SCENARIOS
+
+
+def test_e10b_slack_tradeoff(benchmark, table):
+    rows = once(benchmark, slack_sweep)
+    table(f"E10b: slack ablation — TOP-2 of 16 rooms, {EPOCHS} epochs",
+          ["configuration", "bytes", "probe rounds", "final slack"], rows)
+    by_label = {row[0]: row for row in rows}
+    # More slack, fewer probes.
+    assert by_label["slack 2k"][2] <= by_label["slack 0"][2]
+    # The adaptive controller never probes more than fixed slack 0.
+    assert by_label["adaptive"][2] <= by_label["slack 0"][2]
+
+
+def test_e10c_fila_crossover(benchmark, table):
+    rows, ratios = once(benchmark, fila_crossover)
+    table(f"E10c: FILA vs MINT — TOP-2 nodes, {EPOCHS} epochs",
+          ["field", "fila bytes", "mint bytes", "fila/mint"], rows)
+    # Filters beat views when the field is quiet and lose when it is
+    # volatile: the reason KSpot routes per query class, not globally.
+    assert ratios["quiet"] < 1.0
+    assert ratios["volatile"] > ratios["quiet"]

@@ -1,0 +1,62 @@
+"""E5 — historic top-k: TJA vs TPUT vs centralized, bytes vs K.
+
+The §III-B workload: "Find the K time instances with the highest
+average temperature" over a 256-epoch buffered history on 36 nodes.
+TJA's hierarchical union/join should beat TPUT's flat three rounds by
+a wide margin, and both return exactly the centralized answer.
+"""
+
+from repro.core import Tja, Tput
+from repro.core.aggregates import make_aggregate
+from repro.network.messages import ObjectScore, ScoreListMessage
+from repro.scenarios import grid_rooms_scenario
+
+from conftest import correlated_series, once, report
+
+WINDOW = 256
+KS = (1, 5, 10, 20)
+
+
+def centralized_bytes(series):
+    scenario = grid_rooms_scenario(side=6, rooms_per_axis=2, seed=5)
+    for node, column in sorted(series.items()):
+        message = ScoreListMessage(items=tuple(
+            ObjectScore(t, v) for t, v in sorted(column.items())))
+        scenario.network.unicast_to_sink(node, message)
+    return scenario.network.stats.payload_bytes
+
+
+def run_sweep():
+    base = grid_rooms_scenario(side=6, rooms_per_axis=2, seed=5)
+    nodes = list(base.group_of)
+    series = correlated_series(nodes, WINDOW, seed=5, noise=4.0)
+    aggregate = make_aggregate("AVG", 0, 100)
+    cent = centralized_bytes(series)
+    rows = []
+    outcomes = []
+    for k in KS:
+        a = grid_rooms_scenario(side=6, rooms_per_axis=2, seed=5)
+        tja_result = Tja(a.network, aggregate, k, series).execute()
+        b = grid_rooms_scenario(side=6, rooms_per_axis=2, seed=5)
+        tput_result = Tput(b.network, aggregate, k, series).execute()
+        assert [i.key for i in tja_result.items] == \
+            [i.key for i in tput_result.items]
+        rows.append([k, a.network.stats.payload_bytes,
+                     b.network.stats.payload_bytes, cent,
+                     tja_result.candidates, tja_result.cleanup_rounds])
+        outcomes.append((a.network.stats.payload_bytes,
+                         b.network.stats.payload_bytes))
+    return rows, outcomes, cent
+
+
+def test_e5_tja_vs_tput(benchmark, table):
+    rows, outcomes, cent = once(benchmark, run_sweep)
+    table(f"E5: historic TOP-K over {WINDOW}-epoch windows — 36 nodes",
+          ["K", "TJA B", "TPUT B", "cent B", "|L|", "CL rounds"], rows)
+
+    for tja_bytes, tput_bytes in outcomes:
+        assert tja_bytes < tput_bytes        # hierarchy beats flat
+        assert tja_bytes < cent / 2          # and beats shipping it all
+        assert tput_bytes <= cent * 1.2      # TPUT ~ centralized at worst
+    # Cost grows (weakly) with K for TJA.
+    assert rows[0][1] <= rows[-1][1]

@@ -1,0 +1,51 @@
+"""E6 — TJA phase breakdown (LB / HJ / CL) and candidate-set growth.
+
+Decomposes the TJA cost of E5 by protocol phase, sweeping the noise of
+the shared signal: the more the nodes disagree on which instants were
+hot, the larger L_sink grows, the more the Hierarchical-Join phase
+pays, and the more often Clean-Up must expand.
+"""
+
+from repro.core import Tja
+from repro.core.aggregates import make_aggregate
+from repro.scenarios import grid_rooms_scenario
+
+from conftest import correlated_series, once, report
+
+WINDOW = 192
+K = 10
+NOISES = (1.0, 4.0, 8.0, 16.0)
+
+
+def run_breakdown():
+    rows = []
+    candidate_counts = []
+    for noise in NOISES:
+        scenario = grid_rooms_scenario(side=6, rooms_per_axis=2, seed=6)
+        nodes = list(scenario.group_of)
+        series = correlated_series(nodes, WINDOW, seed=6, noise=noise)
+        aggregate = make_aggregate("AVG", 0, 100)
+        result = Tja(scenario.network, aggregate, K, series).execute()
+        phases = dict(result.per_phase_bytes)
+        rows.append([noise, phases.get("LB", 0), phases.get("HJ", 0),
+                     phases.get("CL", 0), result.candidates,
+                     result.cleanup_rounds])
+        candidate_counts.append(result.candidates)
+    return rows, candidate_counts
+
+
+def test_e6_phase_breakdown(benchmark, table):
+    rows, candidate_counts = once(benchmark, run_breakdown)
+    table(f"E6: TJA phase bytes vs node disagreement — K={K}, "
+          f"{WINDOW}-epoch windows",
+          ["noise σ", "LB B", "HJ B", "CL B", "|candidates|", "CL rounds"],
+          rows)
+
+    # Candidate sets grow with disagreement…
+    assert candidate_counts[-1] > candidate_counts[0]
+    for row in rows:
+        lb_bytes, hj_bytes = row[1], row[2]
+        # …and the join phase always dominates the id union.
+        assert hj_bytes > lb_bytes
+        # Candidates can never be fewer than K.
+        assert row[4] >= K

@@ -1,0 +1,68 @@
+"""E8 — historic-horizontal queries: the WITH HISTORY window sweep.
+
+"SELECT TOP K roomid, AVERAGE(sound) … WITH HISTORY {interval}": each
+node reduces its local window before transmitting (§III-B), so the
+radio cost is independent of the window length — only local storage
+and sampling pay for deeper history. The bench verifies that, and that
+windowed answers still match a windowed oracle.
+"""
+
+from repro.core import KSpotEngine, is_valid_top_k, oracle_scores
+from repro.core.aggregates import make_aggregate
+from repro.query.plan import compile_query
+from repro.query.validator import Schema
+from repro.scenarios import grid_rooms_scenario
+from repro.sensing.modalities import get_modality
+
+from conftest import once, report
+
+WINDOWS = (8, 32, 128)
+EPOCHS = 140
+K = 4
+
+
+def windowed_oracle(scenario, epoch, window, aggregate):
+    modality = get_modality("sound")
+    averages = {}
+    for node in scenario.group_of:
+        start = max(0, epoch - window + 1)
+        values = [modality.quantize(scenario.field.value(node, t))
+                  for t in range(start, epoch + 1)]
+        averages[node] = sum(values) / len(values)
+    return oracle_scores(averages, scenario.group_of, aggregate)
+
+
+def run_sweep():
+    schema = Schema.for_deployment(("sound",))
+    aggregate = make_aggregate("AVG", 0, 100)
+    rows = []
+    byte_costs = []
+    for window in WINDOWS:
+        scenario = grid_rooms_scenario(side=6, rooms_per_axis=3, seed=8)
+        text = (f"SELECT TOP {K} roomid, AVERAGE(sound) FROM sensors "
+                f"GROUP BY roomid WITH HISTORY {window} s "
+                f"EPOCH DURATION 1 s")
+        _, plan = compile_query(text, schema)
+        engine = KSpotEngine(scenario.network, plan,
+                             group_of=scenario.group_of)
+        results = engine.run(EPOCHS)
+        final = results[-1]
+        truth = windowed_oracle(scenario, EPOCHS - 1, window, aggregate)
+        correct = is_valid_top_k(final.items, truth, K, tolerance=1e-6)
+        stats = scenario.network.stats
+        rows.append([window, stats.messages, stats.payload_bytes,
+                     "yes" if correct else "NO"])
+        byte_costs.append(stats.payload_bytes)
+        assert correct
+    return rows, byte_costs
+
+
+def test_e8_history_window(benchmark, table):
+    rows, byte_costs = once(benchmark, run_sweep)
+    table(f"E8: WITH HISTORY window sweep — TOP-{K} rooms, {EPOCHS} epochs",
+          ["window (epochs)", "messages", "bytes", "matches oracle"], rows)
+
+    # Local reduction: radio cost does not grow with the window. (It
+    # usually shrinks slightly — longer windows smooth the aggregate, so
+    # cached views change less.)
+    assert max(byte_costs) <= min(byte_costs) * 1.15

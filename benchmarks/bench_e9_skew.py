@@ -1,0 +1,62 @@
+"""E9 — data-skew ablation: pruning efficacy vs room-loudness skew.
+
+Zipf-distributed room levels (skew 0 = all rooms equally loud, skew 1.5
+= a few rooms dominate). Separated groups certify without probes and
+the γ bounds bite early; near-ties force probe rounds. The γ framework
+keeps answers exact at every skew.
+"""
+
+from repro.core import Mint, MintConfig, Tag, is_valid_top_k, oracle_scores
+from repro.core.aggregates import make_aggregate
+from repro.scenarios import grid_rooms_scenario
+from repro.sensing.modalities import get_modality
+
+from conftest import once, report
+
+SKEWS = (0.0, 0.5, 1.0, 1.5)
+EPOCHS = 30
+K = 1
+
+
+def run_sweep():
+    rows = []
+    probe_counts = []
+    for skew in SKEWS:
+        scenario = grid_rooms_scenario(side=8, rooms_per_axis=4, seed=9,
+                                       skew=skew)
+        shadow = grid_rooms_scenario(side=8, rooms_per_axis=4, seed=9,
+                                     skew=skew)
+        aggregate = make_aggregate("AVG", 0, 100)
+        mint = Mint(scenario.network, aggregate, K, scenario.group_of,
+                    config=MintConfig(slack=0))
+        tag = Tag(shadow.network, aggregate, K, shadow.group_of)
+        modality = get_modality("sound")
+        exact_epochs = 0
+        for epoch in range(EPOCHS):
+            result = mint.run_epoch()
+            tag.run_epoch()
+            readings = {n: modality.quantize(scenario.field.value(n, epoch))
+                        for n in scenario.group_of}
+            truth = oracle_scores(readings, scenario.group_of, aggregate)
+            exact_epochs += is_valid_top_k(result.items, truth, K,
+                                           tolerance=1e-6)
+        saving = 100.0 * (1 - scenario.network.stats.payload_bytes
+                          / shadow.network.stats.payload_bytes)
+        rows.append([skew, scenario.network.stats.payload_bytes,
+                     mint.probes_run, saving, f"{exact_epochs}/{EPOCHS}"])
+        probe_counts.append(mint.probes_run)
+        assert exact_epochs == EPOCHS
+    return rows, probe_counts
+
+
+def test_e9_skew_ablation(benchmark, table):
+    rows, probe_counts = once(benchmark, run_sweep)
+    table(f"E9: skew ablation — TOP-{K} of 16 rooms, slack 0, "
+          f"{EPOCHS} epochs",
+          ["zipf skew", "mint bytes", "probe rounds", "saving vs tag %",
+           "exact epochs"], rows)
+
+    # Separation reduces ambiguity: heavy skew needs no more probing
+    # than the all-ties regime (usually far less).
+    assert probe_counts[-1] <= probe_counts[0]
+    # Exactness held everywhere (asserted inside the sweep).

@@ -1,0 +1,56 @@
+"""Shared helpers for the experiment benchmarks (E1–E10).
+
+Every benchmark regenerates one table/figure of the evaluation plan in
+DESIGN.md §3: it prints the series the paper's System Panel (or the
+constituent algorithms' papers) report, asserts the qualitative shape,
+and times the run under pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.gui.render import render_table
+
+
+def report(title: str, headers, rows) -> None:
+    """Print one regenerated table, paper-style."""
+    print()
+    print(f"== {title} ==")
+    print(render_table(headers, rows))
+
+
+def once(benchmark, fn):
+    """Time ``fn`` exactly once (simulations are deterministic; there
+    is nothing to average) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def correlated_series(nodes, epochs, seed=0, noise=3.0, lo=0.0, hi=100.0):
+    """A shared diurnal signal plus per-node noise — the temperature
+    workload historic queries rank (hot instants are hot everywhere)."""
+    rng = random.Random(seed)
+    base = [
+        (lo + hi) / 2
+        + (hi - lo) / 3 * math.sin(2 * math.pi * t / max(16, epochs // 4))
+        + rng.gauss(0, noise)
+        for t in range(epochs)
+    ]
+    series = {}
+    for node in nodes:
+        series[node] = {
+            t: min(hi, max(lo, base[t] + rng.gauss(0, noise)))
+            for t in range(epochs)
+        }
+    return series
+
+
+@pytest.fixture
+def table():
+    """The report helper as a fixture (keeps imports out of benches)."""
+    return report

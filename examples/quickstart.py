@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure-1 scenario, end to end.
+
+Deploys the 9-sensor / 4-room building of Figure 1, submits the paper's
+running query through the KSpot server, and shows why in-network
+pruning needs MINT's γ descriptors: the naive greedy strategy answers
+``(D, 76.5)`` while the correct answer is ``(C, 75)``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.query.plan import Algorithm
+from repro.scenarios import figure1_scenario
+from repro.server import KSpotServer
+
+QUERY = """
+SELECT TOP 1 roomid, AVERAGE(sound)
+FROM sensors
+GROUP BY roomid
+EPOCH DURATION 1 min
+"""
+
+
+def run_algorithm(algorithm=None, epochs=2):
+    """Deploy Figure 1 fresh and run the query under one algorithm."""
+    scenario = figure1_scenario()
+    server = KSpotServer(scenario.network, group_of=scenario.group_of)
+    plan = server.submit(QUERY, algorithm=algorithm)
+    results = server.run(epochs)
+    return plan, results[-1], scenario.network.stats
+
+
+def main():
+    print("KSpot quickstart — Figure 1 of the paper")
+    print("=" * 56)
+    print(f"query: {QUERY.strip()}")
+    print()
+    print("room ground truth: A=74.5  B=41.0  C=75.0  D=64.0")
+    print()
+
+    plan, mint_result, mint_stats = run_algorithm()
+    print(f"[{plan.algorithm.value}] answer: "
+          f"({mint_result.top.key}, {mint_result.top.score:.1f})  "
+          f"exact={mint_result.exact}")
+
+    _, naive_result, _ = run_algorithm(algorithm=Algorithm.NAIVE)
+    print(f"[naive] answer: "
+          f"({naive_result.top.key}, {naive_result.top.score:.1f})  "
+          f"exact={naive_result.exact}   <- the wrongful elimination "
+          f"of (D, 39) at s4")
+
+    _, tag_result, tag_stats = run_algorithm(algorithm=Algorithm.TAG)
+    print(f"[tag]   answer: "
+          f"({tag_result.top.key}, {tag_result.top.score:.1f})  "
+          f"exact={tag_result.exact}")
+    print()
+    print(f"MINT traffic: {mint_stats.messages} messages, "
+          f"{mint_stats.payload_bytes} payload bytes")
+    print(f"TAG traffic:  {tag_stats.messages} messages, "
+          f"{tag_stats.payload_bytes} payload bytes")
+
+    assert mint_result.top.key == "C"
+    assert naive_result.top.key == "D"
+    print("\nreproduced: MINT matches the oracle; naive pruning is wrong.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo figure1`` / ``demo conference`` — the paper's two canned
+  deployments, with answers and traffic printed;
+* ``run`` — execute a query over a scenario configuration file;
+* ``scenario-init`` — write a template scenario file to edit;
+* ``savings`` — a quick MINT-vs-TAG savings table for a grid
+  deployment (the System Panel, in one shot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .errors import KSpotError
+from .gui.render import render_table
+from .gui.scenario import ScenarioConfig, load_scenario, save_scenario
+from .query.plan import Algorithm, QueryClass
+from .sensing.generators import RoomField
+from .server import KSpotServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KSpot: in-network top-k query processing (ICDE 2009 "
+                    "reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"kspot-repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a canned demo deployment")
+    demo.add_argument("name", choices=("figure1", "conference"))
+    demo.add_argument("--epochs", type=int, default=20)
+
+    run = sub.add_parser("run", help="run a query over a scenario file")
+    run.add_argument("scenario", help="path to a scenario JSON file")
+    run.add_argument("query", help="the SQL-like query text")
+    run.add_argument("--epochs", type=int, default=10)
+    run.add_argument("--seed", type=int, default=0,
+                     help="seed for the synthetic field")
+    run.add_argument("--algorithm",
+                     choices=[a.value for a in Algorithm], default=None,
+                     help="override the routed algorithm")
+
+    init = sub.add_parser("scenario-init",
+                          help="write a template scenario file")
+    init.add_argument("path")
+
+    savings = sub.add_parser("savings",
+                             help="MINT vs TAG savings on a grid")
+    savings.add_argument("--side", type=int, default=8)
+    savings.add_argument("--rooms", type=int, default=4,
+                         help="rooms per axis")
+    savings.add_argument("--k", type=int, default=1)
+    savings.add_argument("--epochs", type=int, default=30)
+    savings.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _print_results(results, stats) -> None:
+    rows = [
+        [result.epoch,
+         ", ".join(f"{item.key}={item.score:.2f}" for item in result.items),
+         "yes" if result.exact else "NO",
+         result.probed]
+        for result in results
+    ]
+    print(render_table(["epoch", "top-k", "exact", "probes"], rows))
+    print()
+    summary = stats.summary()
+    print(f"traffic: {summary['messages']} messages, "
+          f"{summary['packets']} packets, "
+          f"{summary['payload_bytes']} payload bytes, "
+          f"{summary['radio_joules'] * 1e3:.2f} mJ radio")
+
+
+def _cmd_demo(args) -> int:
+    from .scenarios import conference_scenario, figure1_scenario
+
+    if args.name == "figure1":
+        scenario = figure1_scenario()
+        query = ("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
+                 "GROUP BY roomid EPOCH DURATION 1 min")
+    else:
+        scenario = conference_scenario()
+        query = ("SELECT TOP 3 roomid, AVERAGE(sound) FROM sensors "
+                 "GROUP BY roomid EPOCH DURATION 1 min")
+    server = KSpotServer(scenario.network, group_of=scenario.group_of)
+    plan = server.submit(query)
+    print(f"query:  {query}")
+    print(f"routed: {plan.algorithm.value} ({plan.query_class.value})")
+    results = server.run(args.epochs)
+    _print_results(results[-10:], scenario.network.stats)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = load_scenario(args.scenario)
+    field = RoomField(config.cluster_of or
+                      {n: n for n in config.positions},
+                      seed=args.seed)
+    network = config.deploy(field)
+    server = KSpotServer(network, group_of=config.cluster_of or None)
+    algorithm = Algorithm(args.algorithm) if args.algorithm else None
+    plan = server.submit(args.query, algorithm=algorithm)
+    print(f"scenario: {config.name} ({len(config.positions)} sensors)")
+    print(f"routed:   {plan.algorithm.value} ({plan.query_class.value})")
+    if plan.query_class is QueryClass.HISTORIC_VERTICAL:
+        result = server.run_historic()
+        rows = [[rank, item.key, item.score]
+                for rank, item in enumerate(result.items, start=1)]
+        print(render_table(["rank", "epoch", "score"], rows))
+        print(f"candidates: {result.candidates}, "
+              f"clean-up rounds: {result.cleanup_rounds}")
+    else:
+        results = server.run(args.epochs)
+        _print_results(results, network.stats)
+    return 0
+
+
+def _cmd_scenario_init(args) -> int:
+    template = ScenarioConfig(
+        name="my-deployment",
+        map_width=100.0,
+        map_height=60.0,
+        radio_range=35.0,
+        sink_position=(50.0, 30.0),
+        positions={1: (15.0, 15.0), 2: (25.0, 15.0),
+                   3: (70.0, 15.0), 4: (80.0, 15.0),
+                   5: (45.0, 45.0), 6: (55.0, 45.0)},
+        cluster_of={1: "RoomA", 2: "RoomA", 3: "RoomB", 4: "RoomB",
+                    5: "Hallway", 6: "Hallway"},
+    )
+    save_scenario(template, args.path)
+    print(f"wrote template scenario to {args.path}")
+    print("edit positions/clusters, then:")
+    print(f"  python -m repro run {args.path} \"SELECT TOP 1 roomid, "
+          f"AVERAGE(sound) FROM sensors GROUP BY roomid\"")
+    return 0
+
+
+def _cmd_savings(args) -> int:
+    from .core import Mint, MintConfig, Tag
+    from .core.aggregates import make_aggregate
+    from .scenarios import grid_rooms_scenario
+
+    rows = []
+    for name in ("mint", "tag"):
+        scenario = grid_rooms_scenario(side=args.side,
+                                       rooms_per_axis=args.rooms,
+                                       seed=args.seed)
+        aggregate = make_aggregate("AVG", 0, 100)
+        if name == "mint":
+            algorithm = Mint(scenario.network, aggregate, args.k,
+                             scenario.group_of,
+                             config=MintConfig(slack=min(args.k, 4)))
+        else:
+            algorithm = Tag(scenario.network, aggregate, args.k,
+                            scenario.group_of)
+        for _ in range(args.epochs):
+            algorithm.run_epoch()
+        stats = scenario.network.stats
+        rows.append([name, stats.messages, stats.payload_bytes,
+                     stats.radio_joules * 1e3])
+    saving = 100.0 * (1 - rows[0][2] / rows[1][2])
+    print(render_table(["algorithm", "messages", "bytes", "radio mJ"],
+                       rows))
+    print(f"\nMINT saves {saving:.1f}% of TAG's bytes "
+          f"({args.side * args.side} sensors, "
+          f"{args.rooms * args.rooms} rooms, K={args.k}, "
+          f"{args.epochs} epochs)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "run": _cmd_run,
+        "scenario-init": _cmd_scenario_init,
+        "savings": _cmd_savings,
+    }
+    try:
+        return handlers[args.command](args)
+    except KSpotError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

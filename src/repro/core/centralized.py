@@ -1,0 +1,94 @@
+"""Centralized baseline: every raw reading travels to the sink.
+
+The "not cost effective" strawman of §I: no in-network aggregation at
+all — each node forwards its own reading plus every reading received
+from its children, so a reading pays one message-slot per hop between
+its origin and the sink. The sink evaluates the query with complete
+information (this doubles as the oracle the exactness tests use).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..errors import ValidationError
+from ..network.messages import QueryMessage, RawReadingsMessage, Reading
+from ..network.simulator import Network
+from .aggregates import Aggregate
+from .results import EpochResult, oracle_top_k
+
+GroupKey = Hashable
+
+
+class Centralized:
+    """Raw-forwarding collection with sink-side evaluation."""
+
+    name = "centralized"
+
+    def __init__(self, network: Network, aggregate: Aggregate,
+                 k: int | None,
+                 group_of: Mapping[int, GroupKey],
+                 attribute: str = "sound",
+                 window_epochs: int | None = None,
+                 where_fn=None):
+        if k is not None and k < 1:
+            raise ValidationError("k must be >= 1 (or None for all groups)")
+        self.where_fn = where_fn
+        self.network = network
+        self.aggregate = aggregate
+        self.k = k
+        self.attribute = attribute
+        self.group_of = dict(group_of)
+        self.window_epochs = window_epochs
+        self._disseminated = False
+
+    def run_epoch(self) -> EpochResult:
+        """Collect every reading, evaluate at the sink."""
+        if not self._disseminated:
+            with self.network.stats.phase("dissemination"):
+                self.network.flood_down(lambda _: QueryMessage(query_id=1))
+            self._disseminated = True
+        readings: dict[int, float] = {}
+        for node_id in self.network.alive_sensor_ids():
+            if node_id not in self.group_of:
+                continue
+            node = self.network.node(node_id)
+            value = node.read(self.attribute, self.network.epoch)
+            if self.window_epochs is not None:
+                value = node.window.aggregate(
+                    self.aggregate.func.lower(), last_n=self.window_epochs)
+            if self.where_fn is not None and not self.where_fn(
+                    node_id, self.group_of[node_id], value):
+                continue
+            readings[node_id] = value
+
+        buffers: dict[int, list[Reading]] = {}
+        with self.network.stats.phase("collection"):
+            for node_id in self.network.converge_cast_order():
+                batch: list[Reading] = []
+                if node_id in readings:
+                    batch.append(Reading(node_id, readings[node_id]))
+                for child in self.network.tree.children(node_id):
+                    batch.extend(buffers.get(child, ()))
+                message = RawReadingsMessage(
+                    epoch=self.network.epoch, readings=tuple(batch))
+                parent = self.network.send_up(node_id, message)
+                if parent != self.network.sink_id:
+                    buffers[node_id] = batch
+
+        k = self.k if self.k is not None else max(1, len(
+            {self.group_of[n] for n in readings} or {0}))
+        items = (oracle_top_k(readings, self.group_of, self.aggregate, k)
+                 if readings else ())
+        result = EpochResult(
+            epoch=self.network.epoch,
+            items=items,
+            exact=True,
+            algorithm=self.name,
+        )
+        self.network.advance_epoch()
+        return result
+
+    def run(self, epochs: int) -> list[EpochResult]:
+        """``epochs`` consecutive collection rounds."""
+        return [self.run_epoch() for _ in range(epochs)]

@@ -1,0 +1,58 @@
+"""γ descriptor computation (the bounding framework of §III-A).
+
+"MINT utilizes a set of descriptors γ which are utilized to bound
+above the attributes in V0 and subsequently enable a powerful pruning
+framework." Concretely, a node's γ must bound, from above, the
+finalized value of every partial pruned anywhere in its subtree. This
+module computes and maintains those descriptors.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from .aggregates import Aggregate, Partial
+from .views import max_gamma
+
+
+def local_gamma(aggregate: Aggregate,
+                withheld: Mapping[Hashable, Partial]) -> float | None:
+    """γ contribution of the tuples pruned at this node.
+
+    The descriptor is the largest finalized value among them: every
+    withheld partial then provably finalizes ≤ γ.
+    """
+    if not withheld:
+        return None
+    return max(aggregate.finalize(partial) for partial in withheld.values())
+
+
+def subtree_gamma(aggregate: Aggregate,
+                  withheld: Mapping[Hashable, Partial],
+                  child_gammas: Iterable[float | None]) -> float | None:
+    """γ for a whole subtree: own prunes combined with children's γs.
+
+    Children's descriptors cover everything pruned deeper down; the
+    max over all of them bounds every pruned partial below this node.
+    """
+    return max_gamma(local_gamma(aggregate, withheld), *child_gammas)
+
+
+def should_reship_gamma(current: float | None, reported: float | None,
+                        hysteresis: float = 0.0) -> bool:
+    """Whether the parent's cached γ must (or should) be refreshed.
+
+    Correctness *requires* reshipping when the current γ exceeds what
+    the parent caches (the cached bound would no longer hold). When γ
+    shrinks, reshipping merely tightens future bounds, so it is worth a
+    message only when the improvement clears the hysteresis.
+    """
+    if current is None:
+        # Nothing is withheld anywhere below: any cached γ is vacuously
+        # valid (it bounds an empty set), so no message is needed.
+        return False
+    if reported is None:
+        return True
+    if current > reported:
+        return True
+    return reported - current > hysteresis

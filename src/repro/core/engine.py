@@ -1,0 +1,285 @@
+"""The KSpot execution engine: logical plan → running algorithm.
+
+This is the software seam the paper describes between the KSpot client's
+query router and the specialised top-k operator: the engine inspects
+the plan's query class, instantiates the routed algorithm over the
+deployed network, applies static WHERE pre-filters, and drives epochs.
+
+Historic-vertical queries run in two stages, as on real motes: an
+*acquisition* stage in which every node samples and buffers its window
+locally (radio silent — that is the point of local buffering), followed
+by the one-shot distributed TJA/TPUT execution over the buffered
+columns.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..errors import PlanError, ValidationError
+from ..network.simulator import Network
+from ..query.ast_nodes import Predicate
+from ..query.eval import evaluate, references
+from ..query.plan import Algorithm, LogicalPlan, QueryClass
+from ..sensing.modalities import get_modality
+from .aggregates import Aggregate, make_aggregate
+from .centralized import Centralized
+from .fila import Fila
+from .mint import Mint, MintConfig
+from .naive import NaiveTopK
+from .results import EpochResult, RankedItem, oracle_top_k, rank_key
+from .tag import Tag
+from .tja import Tja, TjaResult
+from .tput import Tput, TputResult
+
+GroupKey = Hashable
+
+
+class KSpotEngine:
+    """Runs one logical plan on one deployed network."""
+
+    def __init__(self, network: Network, plan: LogicalPlan,
+                 group_of: Mapping[int, GroupKey] | None = None,
+                 mint_config: MintConfig | None = None):
+        """Args:
+            network: Deployed simulator with boards attached.
+            plan: Output of :func:`repro.query.plan.make_plan`.
+            group_of: Node → cluster mapping for cluster group keys
+                (``roomid``). Defaults to the node groups configured on
+                the network. Ignored for ``nodeid``/``epoch`` keys.
+            mint_config: Tunables forwarded to MINT when routed there.
+        """
+        self.network = network
+        self.plan = plan
+        self.mint_config = mint_config
+        self.group_of = self._resolve_groups(group_of)
+        self.aggregate = self._build_aggregate()
+        self._check_where(plan.where)
+        self.participants = self._static_filter(plan.where)
+        self._algorithm = None
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_groups(self, group_of: Mapping[int, GroupKey] | None
+                        ) -> dict[int, GroupKey]:
+        key = self.plan.group_key
+        sensor_ids = self.network.tree.sensor_ids
+        if key == "nodeid" or key == "epoch":
+            return {node_id: node_id for node_id in sensor_ids}
+        if group_of is not None:
+            mapping = dict(group_of)
+        else:
+            mapping = {
+                node_id: self.network.node(node_id).group
+                for node_id in sensor_ids
+                if self.network.node(node_id).group is not None
+            }
+        if not mapping:
+            raise PlanError(
+                f"the query groups by {key!r} but no cluster mapping is "
+                f"configured (Configuration Panel step missing)"
+            )
+        return mapping
+
+    def _build_aggregate(self) -> Aggregate:
+        modality = get_modality(self.plan.attribute)
+        lo, hi = modality.lo, modality.hi
+        if (self.plan.window_epochs is not None
+                and self.plan.agg_func == "SUM"):
+            # A windowed SUM contribution spans W readings.
+            hi = hi * self.plan.window_epochs
+            lo = min(lo * self.plan.window_epochs, lo)
+        if self.plan.agg_func == "COUNT" and self.plan.window_epochs:
+            raise PlanError("windowed COUNT is not supported")
+        return make_aggregate(self.plan.agg_func, lo, hi)
+
+    def _check_where(self, where: Predicate | None) -> None:
+        self._dynamic_where = False
+        if where is None:
+            return
+        dynamic = references(where) - {"nodeid", self.plan.group_key}
+        dynamic -= {"epoch"}
+        if dynamic and self.plan.algorithm in (Algorithm.MINT, Algorithm.FILA,
+                                               Algorithm.NAIVE):
+            raise PlanError(
+                f"{self.plan.algorithm.value} needs static group "
+                f"cardinalities, but the WHERE clause filters on sensed "
+                f"attributes {sorted(dynamic)}; route the query to TAG or "
+                f"CENTRALIZED instead"
+            )
+        self._dynamic_where = bool(dynamic)
+
+    def _static_filter(self, where: Predicate | None) -> dict[int, GroupKey]:
+        """Participants after static WHERE resolution."""
+        participants: dict[int, GroupKey] = {}
+        static_names = {"nodeid", self.plan.group_key}
+        for node_id, group in self.group_of.items():
+            if where is not None and not references(where) - static_names:
+                context = {"nodeid": node_id, self.plan.group_key: group}
+                if not evaluate(where, context):
+                    continue
+            participants[node_id] = group
+        if not participants:
+            raise PlanError("the WHERE clause excludes every sensor")
+        return participants
+
+    # ------------------------------------------------------------------
+    # Snapshot / horizontal execution
+    # ------------------------------------------------------------------
+
+    def _where_fn(self):
+        """Dynamic acquisition predicate for TAG/CENTRALIZED, or None."""
+        if not self._dynamic_where:
+            return None
+        plan = self.plan
+
+        def predicate(node_id: int, group: GroupKey, value: float) -> bool:
+            context = {
+                "nodeid": node_id,
+                plan.group_key: group,
+                plan.attribute: value,
+                "epoch": self.network.epoch,
+            }
+            return evaluate(plan.where, context)
+
+        return predicate
+
+    def _make_algorithm(self):
+        plan = self.plan
+        common = dict(
+            network=self.network,
+            aggregate=self.aggregate,
+            k=plan.k,
+            group_of=self.participants,
+            attribute=plan.attribute,
+            window_epochs=plan.window_epochs,
+        )
+        if plan.algorithm is Algorithm.MINT:
+            return Mint(self.network, self.aggregate, plan.k,
+                        self.participants, attribute=plan.attribute,
+                        config=self.mint_config,
+                        window_epochs=plan.window_epochs)
+        if plan.algorithm is Algorithm.TAG:
+            return Tag(**common, where_fn=self._where_fn())
+        if plan.algorithm is Algorithm.CENTRALIZED:
+            return Centralized(**common, where_fn=self._where_fn())
+        if plan.algorithm is Algorithm.NAIVE:
+            return NaiveTopK(**common)
+        if plan.algorithm is Algorithm.FILA:
+            if plan.group_key != "nodeid":
+                raise PlanError(
+                    "the FILA build monitors top-k nodes; use MINT for "
+                    "cluster ranking"
+                )
+            return Fila(self.network, self.aggregate, plan.k,
+                        attribute=plan.attribute)
+        raise PlanError(
+            f"{plan.algorithm.value} does not run in epoch mode"
+        )
+
+    @property
+    def algorithm(self):
+        """The instantiated algorithm (lazily created)."""
+        if self._algorithm is None:
+            self._algorithm = self._make_algorithm()
+        return self._algorithm
+
+    def run_epoch(self) -> EpochResult:
+        """Drive one epoch of a snapshot / horizontal / aggregate query."""
+        if self.plan.query_class is QueryClass.HISTORIC_VERTICAL:
+            raise PlanError(
+                "historic-vertical queries run via execute_historic()"
+            )
+        if self.plan.k is None:
+            # Non-ranking queries run full TAG with no cut.
+            return self.algorithm.run_epoch()
+        return self.algorithm.run_epoch()
+
+    def run(self, epochs: int | None = None) -> list[EpochResult]:
+        """Run a continuous query for ``epochs`` (or the plan's lifetime)."""
+        total = epochs if epochs is not None else self.plan.lifetime_epochs
+        if total is None:
+            raise PlanError(
+                "specify epochs (the query has no LIFETIME clause)"
+            )
+        return [self.run_epoch() for _ in range(total)]
+
+    # ------------------------------------------------------------------
+    # Historic-vertical execution
+    # ------------------------------------------------------------------
+
+    def fill_windows(self, epochs: int | None = None) -> None:
+        """Acquisition stage: sample & buffer locally, radio silent."""
+        total = epochs if epochs is not None else self.plan.window_epochs
+        if total is None:
+            raise PlanError("no window length to fill")
+        for _ in range(total):
+            for node_id in self.participants:
+                if self.network.node(node_id).alive:
+                    self.network.node(node_id).read(
+                        self.plan.attribute, self.network.epoch)
+            self.network.advance_epoch()
+
+    def _series(self) -> dict[int, dict[int, float]]:
+        window = self.plan.window_epochs
+        if window is None:
+            raise PlanError("historic execution requires WITH HISTORY")
+        series: dict[int, dict[int, float]] = {}
+        for node_id in self.participants:
+            node = self.network.node(node_id)
+            if not node.alive:
+                continue
+            entries = node.history(window)
+            series[node_id] = {entry.epoch: entry.value for entry in entries}
+        return series
+
+    def execute_historic(self) -> "TjaResult | TputResult":
+        """Run the one-shot distributed query over the buffered windows."""
+        if self.plan.query_class is not QueryClass.HISTORIC_VERTICAL:
+            raise PlanError("execute_historic() is for GROUP BY epoch plans")
+        series = self._series()
+        if self.plan.algorithm is Algorithm.TJA:
+            return Tja(self.network, self.aggregate, self.plan.k,
+                       series).execute()
+        if self.plan.algorithm is Algorithm.TPUT:
+            return Tput(self.network, self.aggregate, self.plan.k,
+                        series).execute()
+        if self.plan.algorithm is Algorithm.CENTRALIZED:
+            return self._centralized_historic(series)
+        raise PlanError(
+            f"{self.plan.algorithm.value} cannot run historic-vertical "
+            f"queries"
+        )
+
+    def _centralized_historic(self, series: Mapping[int, Mapping[int, float]]
+                              ) -> TjaResult:
+        """Ship every buffered column to the sink, evaluate there."""
+        from ..network.messages import ObjectScore, ScoreListMessage
+
+        totals: dict[int, "list[float]"] = {}
+        with self.network.stats.phase("centralized_history"):
+            for node_id, column in sorted(series.items()):
+                message = ScoreListMessage(items=tuple(
+                    ObjectScore(object_id, value)
+                    for object_id, value in sorted(column.items())
+                ))
+                self.network.unicast_to_sink(node_id, message)
+                for object_id, value in column.items():
+                    totals.setdefault(object_id, []).append(value)
+        scored = []
+        for object_id, values in totals.items():
+            partial = None
+            for value in values:
+                lifted = self.aggregate.from_value(value)
+                partial = (lifted if partial is None
+                           else self.aggregate.merge(partial, lifted))
+            scored.append((object_id, self.aggregate.finalize(partial)))
+        scored.sort(key=lambda pair: rank_key(pair[0], pair[1]))
+        items = tuple(
+            RankedItem(key=object_id, score=score, lb=score, ub=score)
+            for object_id, score in scored[:self.plan.k]
+        )
+        return TjaResult(items=items, candidates=len(scored),
+                         cleanup_rounds=0, per_phase_bytes={})

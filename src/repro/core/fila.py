@@ -1,0 +1,236 @@
+"""FILA-style filter-based top-k monitoring (Wu et al., ICDE 2006).
+
+The cited snapshot-class alternative to MINT (reference [17]): instead
+of shipping pruned views every epoch, the sink installs a *filter
+interval* on every node. A node stays silent while its reading remains
+inside its filter; it reports only on a violation. The sink re-derives
+the top-k from exact reports plus filter intervals, probing nodes whose
+intervals straddle the ranking boundary, then reassigns filters around
+the new boundary.
+
+This implementation monitors the top-k *nodes* by their current reading
+(FILA's core setting). Correctness is certification-based, reusing
+:func:`repro.core.certify.certify_top_k`: silent nodes contribute their
+filter interval as bounds — sound, because silence proves the reading
+stayed inside. Answers are therefore exact every epoch, like MINT's.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ValidationError
+from ..network.messages import (
+    FilterReportMessage,
+    FilterUpdateMessage,
+    ProbeRequestMessage,
+    QueryMessage,
+    ViewEntry,
+)
+from ..network.simulator import Network
+from .aggregates import Aggregate, Bounds
+from .certify import certify_top_k
+from .results import EpochResult, rank_key
+
+
+class Fila:
+    """Filter-based continuous top-k node monitoring."""
+
+    name = "fila"
+
+    def __init__(self, network: Network, aggregate: Aggregate, k: int,
+                 attribute: str = "sound"):
+        """Filters partition the value space strictly at the ranking
+        boundary: the top-k nodes' filters sit above it, everyone
+        else's below. Overlapping (hysteresis) filters would leave the
+        boundary permanently ambiguous and force a probe per epoch —
+        the partition is what lets silence certify the set.
+        """
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        self.network = network
+        self.aggregate = aggregate
+        self.k = k
+        self.attribute = attribute
+        #: Installed filter per node (lo, hi); None until setup.
+        self.filters: dict[int, tuple[float, float]] = {}
+        #: The sink's last exactly-known value per node.
+        self.known: dict[int, float] = {}
+        #: The global ranking boundary the filters partition at.
+        self.boundary = aggregate.lo
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    # Filter management
+    # ------------------------------------------------------------------
+
+    def _choose_boundary(self, chosen_floor: float, others_ceiling: float
+                         ) -> float:
+        """Pick the partition point between the top-k and the rest.
+
+        Any value in ``[others_ceiling, chosen_floor]`` partitions
+        correctly; keeping the previous boundary when it still fits
+        avoids reinstalling every filter on small drifts."""
+        if others_ceiling <= self.boundary <= chosen_floor:
+            return self.boundary
+        if others_ceiling > chosen_floor:
+            # Exact tie straddling the cut: both sides sit at the value.
+            return chosen_floor
+        return (chosen_floor + others_ceiling) / 2.0
+
+    def _install_filters(self, chosen: set[int], boundary: float,
+                         exact_values: Mapping[int, float] | None = None,
+                         ) -> int:
+        """Repartition with minimal reinstalls.
+
+        Certification needs every chosen filter to sit at or above the
+        cut and every other filter at or below it. A node keeps its
+        current filter whenever it already satisfies that (and still
+        contains the node's value, where the sink knows it) — so a
+        drift event only reinstalls the nodes actually involved.
+        Assignment is by *rank*, not by value: a node tied exactly at
+        the boundary stays silent on whichever side it was assigned."""
+        exact_values = exact_values or {}
+        installed = 0
+        for node_id in sorted(self.filters or self.known):
+            current = self.filters.get(node_id)
+            if node_id in chosen:
+                acceptable = (current is not None
+                              and current[0] >= boundary
+                              and current[1] == self.aggregate.hi)
+                new_filter = (boundary, self.aggregate.hi)
+            else:
+                acceptable = (current is not None
+                              and current[1] <= boundary
+                              and current[0] == self.aggregate.lo)
+                new_filter = (self.aggregate.lo, boundary)
+            if acceptable and node_id in exact_values:
+                lo, hi = current
+                acceptable = lo <= exact_values[node_id] <= hi
+            if acceptable:
+                continue
+            if current == new_filter:
+                continue
+            self.network.unicast_from_sink(
+                node_id, FilterUpdateMessage(
+                    intervals=((node_id, *new_filter),)))
+            self.filters[node_id] = new_filter
+            installed += 1
+        return installed
+
+    # ------------------------------------------------------------------
+    # Epoch driver
+    # ------------------------------------------------------------------
+
+    def _setup(self, readings: Mapping[int, float]) -> None:
+        with self.network.stats.phase("setup"):
+            self.network.flood_down(lambda _: QueryMessage(query_id=4))
+            for node_id, value in readings.items():
+                self.network.unicast_to_sink(
+                    node_id, FilterReportMessage(
+                        epoch=self.network.epoch,
+                        entries=(ViewEntry(node_id, value, 1),)))
+                self.known[node_id] = value
+            ranked = sorted(self.known.items(), key=lambda kv: (-kv[1], kv[0]))
+            chosen = {node_id for node_id, _ in ranked[:self.k]}
+            if len(ranked) > self.k:
+                self.boundary = (ranked[self.k - 1][1]
+                                 + ranked[self.k][1]) / 2.0
+            self._install_filters(chosen, self.boundary)
+        self._setup_done = True
+
+    def run_epoch(self) -> EpochResult:
+        """One monitoring round: violations, certification, probes."""
+        readings = {
+            node_id: self.network.node(node_id).read(
+                self.attribute, self.network.epoch)
+            for node_id in self.network.alive_sensor_ids()
+        }
+        probed = 0
+        if not self._setup_done:
+            self._setup(readings)
+        else:
+            with self.network.stats.phase("monitor"):
+                for node_id, value in readings.items():
+                    filter_lo, filter_hi = self.filters[node_id]
+                    if filter_lo <= value <= filter_hi:
+                        continue
+                    self.network.unicast_to_sink(
+                        node_id, FilterReportMessage(
+                            epoch=self.network.epoch,
+                            entries=(ViewEntry(node_id, value, 1),)))
+                    self.known[node_id] = value
+                    # The violating node's filter is void until reset;
+                    # treat its value as exactly known this epoch.
+
+            bounds: dict[int, Bounds] = {}
+            for node_id, value in readings.items():
+                filter_lo, filter_hi = self.filters[node_id]
+                if filter_lo <= value <= filter_hi:
+                    bounds[node_id] = Bounds(filter_lo, filter_hi)
+                else:
+                    bounds[node_id] = Bounds(value, value)
+            # FILA certifies set membership: silent nodes keep their
+            # filter interval as the score estimate.
+            outcome = certify_top_k(bounds, self.k,
+                                    require_exact_scores=False)
+            while outcome.needs_probe:
+                with self.network.stats.phase("probe"):
+                    for node_id in outcome.ambiguous:
+                        if bounds[node_id].exact:
+                            continue
+                        self.network.unicast_from_sink(
+                            node_id, ProbeRequestMessage(
+                                epoch=self.network.epoch, groups=(node_id,)))
+                        self.network.unicast_to_sink(
+                            node_id, FilterReportMessage(
+                                epoch=self.network.epoch,
+                                entries=(ViewEntry(
+                                    node_id, readings[node_id], 1),)))
+                        self.known[node_id] = readings[node_id]
+                        bounds[node_id] = Bounds(readings[node_id],
+                                                 readings[node_id])
+                probed += 1
+                outcome = certify_top_k(bounds, self.k,
+                                        require_exact_scores=False)
+
+            # Re-partition the filters around the certified cut.
+            chosen = {item.key for item in outcome.items}
+            chosen_floor = min(bounds[n].lb for n in chosen)
+            others = [n for n in bounds if n not in chosen]
+            if others:
+                others_ceiling = max(bounds[n].ub for n in others)
+                boundary = self._choose_boundary(chosen_floor,
+                                                 others_ceiling)
+            else:
+                boundary = self.boundary
+            self.boundary = boundary
+            fresh = {n: self.known[n] for n in bounds
+                     if bounds[n].exact and n in self.known}
+            with self.network.stats.phase("filter_update"):
+                self._install_filters(chosen, boundary,
+                                      exact_values=fresh)
+
+        # Build the answer from current knowledge.
+        bounds = {}
+        for node_id, value in readings.items():
+            filter_lo, filter_hi = self.filters[node_id]
+            if self.known.get(node_id) == value:
+                bounds[node_id] = Bounds(value, value)
+            else:
+                bounds[node_id] = Bounds(filter_lo, filter_hi)
+        outcome = certify_top_k(bounds, self.k, require_exact_scores=False)
+        result = EpochResult(
+            epoch=self.network.epoch,
+            items=outcome.items,
+            exact=outcome.certified,
+            algorithm=self.name,
+            probed=probed,
+            all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+        )
+        self.network.advance_epoch()
+        return result
+
+    def run(self, epochs: int) -> list[EpochResult]:
+        """``epochs`` consecutive monitoring rounds."""
+        return [self.run_epoch() for _ in range(epochs)]

@@ -1,0 +1,445 @@
+"""MINT: Materialized In-Network Top-k views (§III-A).
+
+The algorithm runs in the paper's three phases every epoch, plus the
+probe fallback that makes answers provably exact:
+
+1. **Creation** (first epoch): full TAG-style views converge-cast to
+   the sink. Ancestors cache the views — the "superset view of their
+   descendants" — and the sink learns every group's sensor cardinality
+   per child subtree (group membership is static).
+2. **Pruning**: each node merges its reading with its children's
+   cached reports into V_i, keeps the top-(k + slack) groups as V'_i,
+   and computes the γ descriptor bounding everything pruned in its
+   subtree.
+3. **Update**: the node ships only the *delta* between V'_i and what
+   its parent caches — changed partials, retractions of groups that
+   fell out of V'_i, and γ when the cached one would no longer bound.
+
+The sink then derives a certified interval per group (per-child γ and
+per-child missing-mass accounting) and, when the intervals do not
+certify the top-k, runs a **probe** round that fetches the withheld
+partials of precisely the ambiguous groups — after which the answer is
+exact. This is how the Figure-1 trap resolves: room D's pruned
+``(D, 39)`` partial makes D's interval wide, D is probed, and the
+correct answer ``(C, 75)`` emerges.
+
+An optional adaptive controller grows ``slack`` after epochs that
+probed and shrinks it after quiet ones, trading view size against
+probe traffic (ablated in experiment E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from ..errors import ProtocolError, ValidationError
+from ..network.messages import (
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    QueryMessage,
+    ViewEntry,
+    ViewUpdateMessage,
+)
+from ..network.simulator import Network
+from .aggregates import Aggregate, Bounds, Partial
+from .certify import certify_top_k
+from .descriptors import should_reship_gamma, subtree_gamma
+from .results import EpochResult, rank_key
+from .views import MintNodeState, max_gamma
+
+GroupKey = Hashable
+
+
+@dataclass
+class MintConfig:
+    """Tunables of the pruning framework.
+
+    Attributes:
+        slack: Extra groups kept beyond k (keep-count = k + slack).
+            Slack 0 prunes hardest but probes most; the paper's γ
+            framework keeps answers exact either way.
+        adaptive: Grow slack after a probing epoch, shrink it after
+            ``quiet_epochs`` consecutive probe-free epochs.
+        max_slack: Ceiling for the adaptive controller.
+        quiet_epochs: Probe-free epochs before slack shrinks.
+        gamma_hysteresis: Tightening margin below which a smaller γ is
+            not worth a message.
+    """
+
+    slack: int | None = None
+    adaptive: bool = False
+    max_slack: int = 16
+    quiet_epochs: int = 8
+    gamma_hysteresis: float = 1.0
+
+
+class Mint:
+    """One MINT execution over a deployed network."""
+
+    name = "mint"
+
+    def __init__(self, network: Network, aggregate: Aggregate, k: int,
+                 group_of: Mapping[int, GroupKey],
+                 attribute: str = "sound",
+                 config: MintConfig | None = None,
+                 window_epochs: int | None = None):
+        """Args:
+            network: The deployed simulator.
+            aggregate: Ranking aggregate with attribute bounds.
+            k: Ranking depth.
+            group_of: Sensor id → group key. Sensors absent from the
+                mapping do not participate (static WHERE pre-filter).
+            attribute: Sensed attribute to acquire.
+            window_epochs: When set, rank windowed aggregates of the
+                last ``window_epochs`` readings instead of snapshots
+                (the historic-horizontal mode of §III-B).
+        """
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        self.network = network
+        self.aggregate = aggregate
+        self.k = k
+        self.attribute = attribute
+        self.group_of = dict(group_of)
+        self.config = config or MintConfig()
+        self.window_epochs = window_epochs
+        self.slack = self.config.slack if self.config.slack is not None else k
+        self.states: dict[int, MintNodeState] = {
+            node_id: MintNodeState() for node_id in network.tree.sensor_ids
+        }
+        self.created = False
+        #: Sink knowledge: group → total count, and per sink-child counts.
+        self.group_totals: dict[GroupKey, int] = {}
+        self.child_group_totals: dict[int, dict[GroupKey, int]] = {}
+        self._quiet_streak = 0
+        self.probes_run = 0
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def _participants(self) -> tuple[int, ...]:
+        return tuple(
+            node_id for node_id in self.network.alive_sensor_ids()
+            if node_id in self.group_of
+        )
+
+    def _acquire(self) -> dict[int, Partial]:
+        """Sample every participant and lift readings into partials.
+
+        In windowed mode the node first reduces its local history
+        window (the "local search and filtering" of §III-B) and the
+        window aggregate becomes its contribution.
+        """
+        contributions: dict[int, Partial] = {}
+        for node_id in self._participants():
+            node = self.network.node(node_id)
+            value = node.read(self.attribute, self.network.epoch)
+            if self.window_epochs is not None:
+                value = node.window.aggregate(
+                    self.aggregate.func.lower()
+                    if self.aggregate.func != "COUNT" else "avg",
+                    last_n=self.window_epochs)
+            contributions[node_id] = self.aggregate.from_value(value)
+        return contributions
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _rebuild_view(self, node_id: int,
+                      contribution: Partial | None) -> dict[GroupKey, Partial]:
+        """V_i: own contribution merged with children's cached reports."""
+        view: dict[GroupKey, Partial] = {}
+        if contribution is not None:
+            view[self.group_of[node_id]] = contribution
+        for child in self.network.tree.children(node_id):
+            if not self.network.node(child).alive:
+                continue
+            for group, partial in self.states[child].reported.items():
+                existing = view.get(group)
+                view[group] = (partial if existing is None
+                               else self.aggregate.merge(existing, partial))
+        return view
+
+    def _prune(self, view: dict[GroupKey, Partial]
+               ) -> tuple[dict[GroupKey, Partial], dict[GroupKey, Partial]]:
+        """Split V_i into (kept V'_i, withheld) by local rank."""
+        keep_count = self.k + self.slack
+        ranked = sorted(
+            view.items(),
+            key=lambda item: rank_key(item[0],
+                                      self.aggregate.finalize(item[1])),
+        )
+        kept = dict(ranked[:keep_count])
+        withheld = dict(ranked[keep_count:])
+        return kept, withheld
+
+    def _update_message(self, state: MintNodeState,
+                        kept: Mapping[GroupKey, Partial],
+                        gamma: float | None,
+                        epoch: int) -> ViewUpdateMessage | None:
+        """Delta between V'_i and the parent's cache (None = silence)."""
+        changed = tuple(
+            ViewEntry(group, partial.value, partial.count)
+            for group, partial in sorted(kept.items(), key=lambda i: str(i[0]))
+            if state.reported.get(group) != partial
+        )
+        retractions = tuple(
+            group for group in sorted(state.reported, key=str)
+            if group not in kept
+        )
+        ship_gamma = should_reship_gamma(
+            gamma, state.gamma_reported,
+            hysteresis=self.config.gamma_hysteresis)
+        if not changed and not retractions and not ship_gamma:
+            return None
+        return ViewUpdateMessage(
+            epoch=epoch,
+            entries=changed,
+            gamma=gamma if ship_gamma else None,
+            retractions=retractions,
+        )
+
+    def _apply_report(self, state: MintNodeState,
+                      kept: Mapping[GroupKey, Partial],
+                      message: ViewUpdateMessage | None) -> None:
+        """Commit what the parent now caches about this subtree."""
+        if message is None:
+            return
+        for group in message.retractions:
+            state.reported.pop(group, None)
+        for entry in message.entries:
+            state.reported[entry.group] = Partial(entry.value, entry.count)
+        if message.gamma is not None:
+            state.gamma_reported = message.gamma
+
+    def _creation_phase(self) -> None:
+        """First acquisition: full views up, cardinalities learned."""
+        contributions = self._acquire()
+        with self.network.stats.phase("creation"):
+            self.network.flood_down(
+                lambda node_id: QueryMessage(query_id=1))
+            for node_id in self.network.converge_cast_order():
+                state = self.states[node_id]
+                state.view = self._rebuild_view(
+                    node_id, contributions.get(node_id))
+                state.withheld = {}
+                state.gamma_current = None
+                message = ViewUpdateMessage(
+                    epoch=self.network.epoch,
+                    entries=tuple(
+                        ViewEntry(group, partial.value, partial.count)
+                        for group, partial in sorted(state.view.items(),
+                                                     key=lambda i: str(i[0]))
+                    ),
+                )
+                self.network.send_up(node_id, message)
+                state.reported = dict(state.view)
+                state.gamma_reported = None
+        self.group_totals = {}
+        self.child_group_totals = {}
+        for child in self.network.tree.children(self.network.sink_id):
+            if not self.network.node(child).alive:
+                continue
+            counts = {
+                group: partial.count
+                for group, partial in self.states[child].reported.items()
+            }
+            self.child_group_totals[child] = counts
+            for group, count in counts.items():
+                self.group_totals[group] = (
+                    self.group_totals.get(group, 0) + count)
+        self.created = True
+
+    def _sink_bounds(self) -> dict[GroupKey, Bounds]:
+        """Certified interval per group from the sink's child caches."""
+        bounds: dict[GroupKey, Bounds] = {}
+        sink_children = [
+            child for child in self.network.tree.children(self.network.sink_id)
+            if self.network.node(child).alive
+        ]
+        for group, total in self.group_totals.items():
+            seen: Partial | None = None
+            gamma: float | None = None
+            for child in sink_children:
+                partial = self.states[child].reported.get(group)
+                expected = self.child_group_totals.get(child, {}).get(group, 0)
+                seen_count = partial.count if partial is not None else 0
+                if partial is not None:
+                    seen = (partial if seen is None
+                            else self.aggregate.merge(seen, partial))
+                if seen_count < expected:
+                    child_gamma = self.states[child].gamma_reported
+                    if child_gamma is None:
+                        raise ProtocolError(
+                            f"child {child} withholds mass for group "
+                            f"{group!r} without a γ descriptor"
+                        )
+                    gamma = max_gamma(gamma, child_gamma)
+            unseen = total - (seen.count if seen is not None else 0)
+            bounds[group] = self.aggregate.bounds(seen, unseen, gamma)
+        return bounds
+
+    def _probe(self, groups: tuple[GroupKey, ...]) -> dict[GroupKey, Partial]:
+        """Fetch the withheld partials of the ambiguous groups.
+
+        The request floods down; replies converge-cast back up, merging
+        withheld partials per group. Only nodes with content (their own
+        withheld tuples or a descendant's reply) transmit.
+        """
+        probe_set = set(groups)
+        with self.network.stats.phase("probe"):
+            self.network.flood_down(
+                lambda node_id: ProbeRequestMessage(
+                    epoch=self.network.epoch, groups=tuple(sorted(
+                        probe_set, key=str))))
+            replies: dict[int, dict[GroupKey, Partial]] = {}
+            collected: dict[GroupKey, Partial] = {}
+            for node_id in self.network.converge_cast_order():
+                payload: dict[GroupKey, Partial] = {}
+                state = self.states[node_id]
+                for group, partial in state.withheld.items():
+                    if group in probe_set:
+                        existing = payload.get(group)
+                        payload[group] = (
+                            partial if existing is None
+                            else self.aggregate.merge(existing, partial))
+                for child in self.network.tree.children(node_id):
+                    for group, partial in replies.get(child, {}).items():
+                        existing = payload.get(group)
+                        payload[group] = (
+                            partial if existing is None
+                            else self.aggregate.merge(existing, partial))
+                if not payload:
+                    continue
+                message = ProbeReplyMessage(
+                    epoch=self.network.epoch,
+                    entries=tuple(
+                        ViewEntry(group, partial.value, partial.count)
+                        for group, partial in sorted(payload.items(),
+                                                     key=lambda i: str(i[0]))
+                    ),
+                )
+                parent = self.network.send_up(node_id, message)
+                if parent == self.network.sink_id:
+                    for group, partial in payload.items():
+                        existing = collected.get(group)
+                        collected[group] = (
+                            partial if existing is None
+                            else self.aggregate.merge(existing, partial))
+                else:
+                    replies[node_id] = payload
+        self.probes_run += 1
+        return collected
+
+    # ------------------------------------------------------------------
+    # Epoch driver
+    # ------------------------------------------------------------------
+
+    def run_epoch(self) -> EpochResult:
+        """Execute one acquisition round and return the certified top-k."""
+        if not self.created:
+            self._creation_phase()
+            bounds = self._sink_bounds()
+            outcome = certify_top_k(bounds, self.k)
+            result = EpochResult(
+                epoch=self.network.epoch,
+                items=outcome.items,
+                exact=True,
+                algorithm=self.name,
+                probed=0,
+                all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+            )
+            self.network.advance_epoch()
+            return result
+
+        contributions = self._acquire()
+        with self.network.stats.phase("update"):
+            for node_id in self.network.converge_cast_order():
+                state = self.states[node_id]
+                state.view = self._rebuild_view(
+                    node_id, contributions.get(node_id))
+                kept, withheld = self._prune(state.view)
+                state.withheld = withheld
+                child_gammas = [
+                    self.states[child].gamma_reported
+                    for child in self.network.tree.children(node_id)
+                    if self.network.node(child).alive
+                ]
+                gamma = subtree_gamma(self.aggregate, withheld, child_gammas)
+                state.gamma_current = gamma
+                message = self._update_message(
+                    state, kept, gamma, self.network.epoch)
+                if message is not None:
+                    self.network.send_up(node_id, message)
+                    self._apply_report(state, kept, message)
+
+        bounds = self._sink_bounds()
+        outcome = certify_top_k(bounds, self.k)
+        probed = 0
+        if outcome.needs_probe:
+            collected = self._probe(outcome.ambiguous)
+            probed = 1
+            for group, extra in collected.items():
+                # Merge the probe mass with the already-seen partial
+                # (recomputed from the sink's child caches).
+                seen = self._seen_partial(group)
+                merged = (extra if seen is None
+                          else self.aggregate.merge(seen, extra))
+                exact = self.aggregate.finalize(merged)
+                if merged.count != self.group_totals[group]:
+                    raise ProtocolError(
+                        f"probe for {group!r} returned {merged.count} of "
+                        f"{self.group_totals[group]} readings"
+                    )
+                bounds[group] = Bounds(exact, exact)
+            outcome = certify_top_k(bounds, self.k)
+            if outcome.needs_probe:
+                raise ProtocolError("probe did not certify the result")
+
+        self._adapt_slack(probed)
+        result = EpochResult(
+            epoch=self.network.epoch,
+            items=outcome.items,
+            exact=True,
+            algorithm=self.name,
+            probed=probed,
+            all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+        )
+        self.network.advance_epoch()
+        return result
+
+    def _seen_partial(self, group: GroupKey) -> Partial | None:
+        seen: Partial | None = None
+        for child in self.network.tree.children(self.network.sink_id):
+            if not self.network.node(child).alive:
+                continue
+            partial = self.states[child].reported.get(group)
+            if partial is not None:
+                seen = (partial if seen is None
+                        else self.aggregate.merge(seen, partial))
+        return seen
+
+    def _adapt_slack(self, probed: int) -> None:
+        if not self.config.adaptive:
+            return
+        if probed:
+            self.slack = min(self.config.max_slack, self.slack + 1)
+            self._quiet_streak = 0
+            return
+        self._quiet_streak += 1
+        if self._quiet_streak >= self.config.quiet_epochs and self.slack > 0:
+            self.slack -= 1
+            self._quiet_streak = 0
+
+    def handle_topology_change(self) -> None:
+        """Nodes died / tree repaired: views must be re-created."""
+        for state in self.states.values():
+            state.reset()
+        self.created = False
+
+    def run(self, epochs: int) -> list[EpochResult]:
+        """Convenience driver: ``epochs`` consecutive rounds."""
+        return [self.run_epoch() for _ in range(epochs)]

@@ -1,0 +1,124 @@
+"""TAG baseline: full in-network aggregation, sink-side top-k operator.
+
+This is the "straightforward" technique of §I: following the TAG
+approach used in TinyDB, every node forwards one ``(group, sum,
+count)`` tuple *per group it knows about* to its parent each epoch, and
+"one could then easily implement a new top-k operator at the sink …
+in a centralized manner". Exact by construction; the cost KSpot's
+pruning is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..errors import ValidationError
+from ..network.messages import QueryMessage, ViewEntry, ViewUpdateMessage
+from ..network.simulator import Network
+from .aggregates import Aggregate, Partial
+from .results import EpochResult, RankedItem, rank_key
+
+GroupKey = Hashable
+
+
+class Tag:
+    """Per-epoch full converge-cast of group views."""
+
+    name = "tag"
+
+    def __init__(self, network: Network, aggregate: Aggregate, k: int | None,
+                 group_of: Mapping[int, GroupKey],
+                 attribute: str = "sound",
+                 window_epochs: int | None = None,
+                 where_fn=None):
+        if k is not None and k < 1:
+            raise ValidationError("k must be >= 1 (or None for all groups)")
+        self.network = network
+        self.aggregate = aggregate
+        self.k = k
+        self.attribute = attribute
+        self.group_of = dict(group_of)
+        self.window_epochs = window_epochs
+        #: Optional dynamic acquisition predicate
+        #: ``where_fn(node_id, group, value) -> bool``.
+        self.where_fn = where_fn
+        self._disseminated = False
+
+    def _acquire(self) -> dict[int, Partial]:
+        contributions: dict[int, Partial] = {}
+        for node_id in self.network.alive_sensor_ids():
+            if node_id not in self.group_of:
+                continue
+            node = self.network.node(node_id)
+            value = node.read(self.attribute, self.network.epoch)
+            if self.window_epochs is not None:
+                value = node.window.aggregate(
+                    self.aggregate.func.lower(), last_n=self.window_epochs)
+            if self.where_fn is not None and not self.where_fn(
+                    node_id, self.group_of[node_id], value):
+                continue
+            contributions[node_id] = self.aggregate.from_value(value)
+        return contributions
+
+    def run_epoch(self) -> EpochResult:
+        """One full aggregation round; returns the exact top-k."""
+        if not self._disseminated:
+            with self.network.stats.phase("dissemination"):
+                self.network.flood_down(lambda _: QueryMessage(query_id=1))
+            self._disseminated = True
+        contributions = self._acquire()
+        partial_views: dict[int, dict[GroupKey, Partial]] = {}
+        sink_view: dict[GroupKey, Partial] = {}
+        with self.network.stats.phase("aggregation"):
+            for node_id in self.network.converge_cast_order():
+                view: dict[GroupKey, Partial] = {}
+                own = contributions.get(node_id)
+                if own is not None:
+                    view[self.group_of[node_id]] = own
+                for child in self.network.tree.children(node_id):
+                    for group, partial in partial_views.get(child, {}).items():
+                        existing = view.get(group)
+                        view[group] = (partial if existing is None
+                                       else self.aggregate.merge(existing,
+                                                                 partial))
+                message = ViewUpdateMessage(
+                    epoch=self.network.epoch,
+                    entries=tuple(
+                        ViewEntry(group, partial.value, partial.count)
+                        for group, partial in sorted(view.items(),
+                                                     key=lambda i: str(i[0]))
+                    ),
+                )
+                parent = self.network.send_up(node_id, message)
+                if parent == self.network.sink_id:
+                    for group, partial in view.items():
+                        existing = sink_view.get(group)
+                        sink_view[group] = (
+                            partial if existing is None
+                            else self.aggregate.merge(existing, partial))
+                else:
+                    partial_views[node_id] = view
+
+        scored = sorted(
+            ((group, self.aggregate.finalize(partial))
+             for group, partial in sink_view.items()),
+            key=lambda pair: rank_key(pair[0], pair[1]),
+        )
+        cut = scored if self.k is None else scored[:self.k]
+        items = tuple(
+            RankedItem(key=group, score=score, lb=score, ub=score)
+            for group, score in cut
+        )
+        result = EpochResult(
+            epoch=self.network.epoch,
+            items=items,
+            exact=True,
+            algorithm=self.name,
+            all_bounds={g: (s, s) for g, s in scored},
+        )
+        self.network.advance_epoch()
+        return result
+
+    def run(self, epochs: int) -> list[EpochResult]:
+        """``epochs`` consecutive aggregation rounds."""
+        return [self.run_epoch() for _ in range(epochs)]

@@ -1,0 +1,158 @@
+"""Panel models of the KSpot GUI (§II, Figure 3).
+
+Each class holds exactly the state the corresponding Swing panel
+displays. They are plain models: the ASCII renderer (or any other
+front-end) consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from ..errors import ConfigurationError, ValidationError
+from ..query.ast_nodes import Query
+from ..query.parser import parse
+from ..core.results import EpochResult
+
+
+@dataclass
+class ConfigurationPanel:
+    """Cluster configuration: which nodes belong to which region.
+
+    "Through this panel the user can specify which nodes belong to (are
+    clustered in) the same physical region (e.g., Auditorium,
+    Conference Rooms, Coffee Stations, etc.)"
+    """
+
+    cluster_of: dict[int, Hashable] = field(default_factory=dict)
+
+    def assign(self, node_id: int, cluster: Hashable) -> None:
+        """Put a node into a cluster (drag it onto a region)."""
+        self.cluster_of[node_id] = cluster
+
+    def remove(self, node_id: int) -> None:
+        """Remove a node from its cluster."""
+        self.cluster_of.pop(node_id, None)
+
+    def clusters(self) -> dict[Hashable, tuple[int, ...]]:
+        """Cluster → sorted member node ids."""
+        members: dict[Hashable, list[int]] = {}
+        for node_id, cluster in self.cluster_of.items():
+            members.setdefault(cluster, []).append(node_id)
+        return {cluster: tuple(sorted(nodes))
+                for cluster, nodes in sorted(members.items(), key=lambda i: str(i[0]))}
+
+    def validate_against(self, node_ids: Iterable[int]) -> None:
+        """Every configured node must exist in the deployment."""
+        known = set(node_ids)
+        unknown = sorted(set(self.cluster_of) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"configuration references unknown sensors: {unknown}"
+            )
+
+
+@dataclass
+class QueryPanel:
+    """Query construction: builds or accepts SQL-like query text.
+
+    The panel supports both paths of the paper — graphical construction
+    (:meth:`build`) and manual entry (:meth:`set_text`) — and echoes
+    the canonical query back.
+    """
+
+    text: str = ""
+    query: Query | None = None
+
+    def set_text(self, text: str) -> Query:
+        """Manual entry: parse and echo."""
+        self.query = parse(text)
+        self.text = self.query.unparse()
+        return self.query
+
+    def build(self, k: int | None, aggregate: str, attribute: str,
+              group_by: str | None = "roomid",
+              epoch_duration: str | None = None,
+              history: str | None = None) -> Query:
+        """Graphical construction: assemble the query from widget state."""
+        parts = ["SELECT"]
+        if k is not None:
+            parts.append(f"TOP {k}")
+        select = []
+        if group_by:
+            select.append(group_by)
+        select.append(f"{aggregate.upper()}({attribute})")
+        parts.append(", ".join(select))
+        parts.append("FROM sensors")
+        if group_by:
+            parts.append(f"GROUP BY {group_by}")
+        if epoch_duration:
+            parts.append(f"EPOCH DURATION {epoch_duration}")
+        if history:
+            parts.append(f"WITH HISTORY {history}")
+        return self.set_text(" ".join(parts))
+
+
+@dataclass(frozen=True)
+class KSpotBullet:
+    """One red ranking bullet on the map: a cluster and its rank.
+
+    "the panel highlights the K-highest ranked clusters by utilizing a
+    red bullet, coined the KSpot Bullet, which projects the rank of the
+    given cluster at any given time instance."
+    """
+
+    rank: int
+    cluster: Hashable
+    score: float
+
+    @property
+    def label(self) -> str:
+        """The rank digit drawn inside the bullet."""
+        return f"({self.rank})"
+
+
+@dataclass
+class DisplayPanel:
+    """The map display: floor plan, sensor positions, cluster links,
+    and the continuously re-ranked KSpot bullets."""
+
+    width: float
+    height: float
+    positions: dict[int, tuple[float, float]] = field(default_factory=dict)
+    cluster_of: dict[int, Hashable] = field(default_factory=dict)
+    bullets: tuple[KSpotBullet, ...] = ()
+    #: Stand-in for the JPG floor plan: a caption drawn as the header.
+    floor_plan_caption: str = "floor plan"
+
+    def place(self, node_id: int, x: float, y: float) -> None:
+        """Drag-and-drop a sensor onto the map."""
+        if not (0 <= x <= self.width and 0 <= y <= self.height):
+            raise ValidationError(
+                f"({x}, {y}) is outside the {self.width}x{self.height} map"
+            )
+        self.positions[node_id] = (x, y)
+
+    def cluster_members(self, cluster: Hashable) -> tuple[int, ...]:
+        """Sorted sensors of one cluster (joined by black lines)."""
+        return tuple(sorted(
+            node_id for node_id, c in self.cluster_of.items() if c == cluster
+        ))
+
+    def cluster_centroid(self, cluster: Hashable) -> tuple[float, float]:
+        """Where the cluster's bullet is drawn."""
+        members = [self.positions[n] for n in self.cluster_members(cluster)
+                   if n in self.positions]
+        if not members:
+            raise ValidationError(f"cluster {cluster!r} has no placed sensors")
+        return (sum(p[0] for p in members) / len(members),
+                sum(p[1] for p in members) / len(members))
+
+    def update_ranking(self, result: EpochResult) -> tuple[KSpotBullet, ...]:
+        """Re-rank the bullets from a fresh epoch result."""
+        self.bullets = tuple(
+            KSpotBullet(rank=rank, cluster=item.key, score=item.score)
+            for rank, item in enumerate(result.items, start=1)
+        )
+        return self.bullets

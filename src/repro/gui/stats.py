@@ -1,0 +1,106 @@
+"""The System Panel: live savings statistics (§I, §IV-B).
+
+"KSpot's system panel … continuously displays the savings in energy
+and messages that our system yields." The panel compares the running
+algorithm's cumulative cost against a baseline's (TAG by default) and
+keeps a time series of per-epoch savings for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from ..network.stats import NetworkStats, PhaseSnapshot
+
+
+@dataclass(frozen=True)
+class SavingsSample:
+    """Savings observed over one epoch (deltas, not cumulative)."""
+
+    epoch: int
+    messages: int
+    baseline_messages: int
+    payload_bytes: int
+    baseline_payload_bytes: int
+    radio_joules: float
+    baseline_radio_joules: float
+
+    @staticmethod
+    def _saving(cost: float, baseline: float) -> float:
+        if baseline <= 0:
+            return 0.0
+        return 100.0 * (1.0 - cost / baseline)
+
+    @property
+    def message_saving_pct(self) -> float:
+        """Per-epoch message saving vs the baseline, in percent."""
+        return self._saving(self.messages, self.baseline_messages)
+
+    @property
+    def byte_saving_pct(self) -> float:
+        """Per-epoch payload-byte saving vs the baseline, in percent."""
+        return self._saving(self.payload_bytes, self.baseline_payload_bytes)
+
+    @property
+    def energy_saving_pct(self) -> float:
+        """Per-epoch radio-energy saving vs the baseline, in percent."""
+        return self._saving(self.radio_joules, self.baseline_radio_joules)
+
+
+class SystemPanel:
+    """Tracks two stat ledgers and derives the savings series.
+
+    The panel observes the stats of the network running the KSpot
+    algorithm and the stats of an identical shadow network running the
+    baseline, sampling both once per epoch.
+    """
+
+    def __init__(self, system: NetworkStats, baseline: NetworkStats,
+                 baseline_name: str = "tag"):
+        self._system = system
+        self._baseline = baseline
+        self.baseline_name = baseline_name
+        self._last_system = system.snapshot()
+        self._last_baseline = baseline.snapshot()
+        self.samples: list[SavingsSample] = []
+        self._epoch = 0
+
+    def sample(self) -> SavingsSample:
+        """Close the current epoch and record its savings."""
+        system_now = self._system.snapshot()
+        baseline_now = self._baseline.snapshot()
+        system_delta = system_now.minus(self._last_system)
+        baseline_delta = baseline_now.minus(self._last_baseline)
+        entry = SavingsSample(
+            epoch=self._epoch,
+            messages=system_delta.messages,
+            baseline_messages=baseline_delta.messages,
+            payload_bytes=system_delta.payload_bytes,
+            baseline_payload_bytes=baseline_delta.payload_bytes,
+            radio_joules=system_delta.tx_joules + system_delta.rx_joules,
+            baseline_radio_joules=(baseline_delta.tx_joules
+                                   + baseline_delta.rx_joules),
+        )
+        self.samples.append(entry)
+        self._last_system = system_now
+        self._last_baseline = baseline_now
+        self._epoch += 1
+        return entry
+
+    @property
+    def cumulative(self) -> SavingsSample:
+        """Totals since the panel started observing."""
+        if not self.samples:
+            raise ValidationError("no epochs sampled yet")
+        return SavingsSample(
+            epoch=self._epoch - 1,
+            messages=sum(s.messages for s in self.samples),
+            baseline_messages=sum(s.baseline_messages for s in self.samples),
+            payload_bytes=sum(s.payload_bytes for s in self.samples),
+            baseline_payload_bytes=sum(
+                s.baseline_payload_bytes for s in self.samples),
+            radio_joules=sum(s.radio_joules for s in self.samples),
+            baseline_radio_joules=sum(
+                s.baseline_radio_joules for s in self.samples),
+        )

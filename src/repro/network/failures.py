@@ -1,0 +1,69 @@
+"""Failure injection for robustness experiments.
+
+Sensor deployments lose nodes — batteries die, hardware fails. A
+:class:`FailureSchedule` scripts deterministic node deaths against the
+simulator so tests and benchmarks can check that the routing tree
+repairs itself and the top-k algorithms keep answering correctly over
+the surviving population.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .simulator import Network
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One scripted death: ``node_id`` dies at the start of ``epoch``."""
+
+    epoch: int
+    node_id: int
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered script of node deaths."""
+
+    failures: list[Failure] = field(default_factory=list)
+
+    @classmethod
+    def random_deaths(cls, node_ids: Iterable[int], count: int,
+                      epochs: int, seed: int = 0,
+                      first_epoch: int = 1) -> "FailureSchedule":
+        """``count`` distinct nodes dying at random epochs in
+        ``[first_epoch, epochs)``."""
+        pool = sorted(node_ids)
+        if count > len(pool):
+            raise ConfigurationError(
+                f"cannot kill {count} of {len(pool)} nodes"
+            )
+        if first_epoch >= epochs and count > 0:
+            raise ConfigurationError("no epoch available for failures")
+        rng = random.Random(seed)
+        victims = rng.sample(pool, count)
+        deaths = sorted(
+            (rng.randrange(first_epoch, epochs), v) for v in victims
+        )
+        return cls([Failure(epoch, node) for epoch, node in deaths])
+
+    def due(self, epoch: int) -> tuple[Failure, ...]:
+        """Failures scheduled for exactly this epoch."""
+        return tuple(f for f in self.failures if f.epoch == epoch)
+
+    def apply(self, network: Network, epoch: int) -> tuple[int, ...]:
+        """Kill every node due at ``epoch``; returns the victims.
+
+        The tree is repaired once after the batch, not per victim.
+        """
+        victims = [f.node_id for f in self.due(epoch)
+                   if network.node(f.node_id).alive]
+        for node_id in victims[:-1]:
+            network.kill_node(node_id, repair=False)
+        if victims:
+            network.kill_node(victims[-1], repair=True)
+        return tuple(victims)

@@ -1,0 +1,109 @@
+"""Network-lifetime simulation.
+
+The demo's energy story ends in one number: how long until the network
+dies? Lifetime is conventionally the time to the *first* battery death
+(the bottleneck node — usually a sink neighbour relaying everyone's
+traffic). This module runs a continuous query until that happens, or
+extrapolates when the battery outlives the simulation budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .simulator import Network
+
+
+@dataclass(frozen=True)
+class LifetimeReport:
+    """Outcome of a lifetime run.
+
+    Attributes:
+        epochs: Epochs until the first death (possibly extrapolated).
+        first_dead: The bottleneck node id.
+        simulated_epochs: Epochs actually executed.
+        extrapolated: True when the battery outlived the budget and the
+            answer comes from the steady-state burn rate.
+        burn_rates: Per-node joules per epoch (steady state).
+    """
+
+    epochs: float
+    first_dead: int
+    simulated_epochs: int
+    extrapolated: bool
+    burn_rates: dict[int, float]
+
+
+def simulate_lifetime(algorithm, network: Network,
+                      battery_joules: float | None = None,
+                      max_epochs: int = 10_000,
+                      warmup_epochs: int = 5) -> LifetimeReport:
+    """Run ``algorithm`` until a node's cumulative energy exceeds the
+    battery, killing it for real; extrapolate if the budget runs out.
+
+    Args:
+        algorithm: Anything with ``run_epoch()`` bound to ``network``.
+        battery_joules: Per-node battery (defaults to the network's
+            energy model). Benchmarks pass small values so deaths occur
+            within the simulation budget.
+        max_epochs: Simulation budget before extrapolating.
+        warmup_epochs: Epochs excluded from the steady-state burn rate
+            (the creation phase is atypically expensive).
+    """
+    battery = (network.energy.battery_joules if battery_joules is None
+               else battery_joules)
+    if battery <= 0:
+        raise ConfigurationError("battery must be positive")
+    warmup_totals: dict[int, float] = {}
+    for epoch in range(max_epochs):
+        algorithm.run_epoch()
+        if epoch + 1 == warmup_epochs:
+            warmup_totals = {
+                node_id: network.ledger(node_id).total
+                for node_id in network.tree.sensor_ids
+            }
+        drained = [
+            node_id for node_id in network.alive_sensor_ids()
+            if network.ledger(node_id).total >= battery
+        ]
+        if drained:
+            victim = max(drained,
+                         key=lambda n: network.ledger(n).total)
+            simulated = epoch + 1
+            rates = {
+                node_id: network.ledger(node_id).total / simulated
+                for node_id in network.tree.sensor_ids
+            }
+            return LifetimeReport(
+                epochs=float(simulated),
+                first_dead=victim,
+                simulated_epochs=simulated,
+                extrapolated=False,
+                burn_rates=rates,
+            )
+
+    # Budget exhausted: extrapolate from the post-warmup burn rate.
+    steady_epochs = max_epochs - warmup_epochs
+    if steady_epochs <= 0:
+        raise ConfigurationError("max_epochs must exceed warmup_epochs")
+    rates = {}
+    worst_node = None
+    worst_rate = 0.0
+    for node_id in network.tree.sensor_ids:
+        total = network.ledger(node_id).total
+        steady = (total - warmup_totals.get(node_id, 0.0)) / steady_epochs
+        rates[node_id] = steady
+        if steady > worst_rate:
+            worst_rate = steady
+            worst_node = node_id
+    if worst_node is None or worst_rate <= 0:
+        raise ConfigurationError("no energy was drawn; nothing to project")
+    remaining = battery - network.ledger(worst_node).total
+    return LifetimeReport(
+        epochs=max_epochs + max(0.0, remaining) / worst_rate,
+        first_dead=worst_node,
+        simulated_epochs=max_epochs,
+        extrapolated=True,
+        burn_rates=rates,
+    )

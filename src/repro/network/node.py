@@ -1,0 +1,93 @@
+"""The KSpot-client node runtime.
+
+A :class:`SensorNode` is the software image flashed onto each mote: its
+sensor board, its local history window, and its cluster (room)
+membership. Algorithm state (views, filters, candidate caches) lives in
+the algorithm objects in :mod:`repro.core`, mirroring how the real
+KSpot client keeps the top-k operator separate from the node firmware.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import ConfigurationError
+from ..sensing.board import SensorBoard
+from ..storage.microhash import MicroHashIndex
+from ..storage.window import SlidingWindow, WindowEntry
+from .energy import EnergyLedger
+
+
+class SensorNode:
+    """One mote: identity, sensing hardware, local storage, liveness."""
+
+    def __init__(self, node_id: int, board: SensorBoard | None = None,
+                 group: Hashable = None, window_capacity: int = 1024):
+        if node_id < 0:
+            raise ConfigurationError("node ids must be non-negative")
+        self.node_id = node_id
+        self.board = board
+        self.group = group
+        self.ledger = EnergyLedger()
+        self.window: SlidingWindow = SlidingWindow(capacity=window_capacity)
+        #: Optional flash-resident history (§III-B: "either in main
+        #: memory … or on secondary memory"). Attached via
+        #: :meth:`attach_flash`; page costs charge the storage ledger.
+        self.flash_index: MicroHashIndex | None = None
+        self.alive = True
+
+    def attach_flash(self, index: MicroHashIndex) -> None:
+        """Buffer history on flash (MicroHash) instead of SRAM only."""
+        self.flash_index = index
+
+    def _charge_flash(self, before_joules: float) -> None:
+        if self.flash_index is not None:
+            delta = self.flash_index.flash.stats.joules - before_joules
+            if delta:
+                self.ledger.charge_storage(delta)
+
+    def read(self, attribute: str, epoch: int) -> float:
+        """Sample the board, charge sensing energy, buffer into history.
+
+        This is the per-epoch acquisition step of the TinyDB model: the
+        sample is both the current snapshot value and the newest entry
+        of the node's history — the SRAM sliding window, plus the flash
+        index when one is attached (its page-write energy is charged to
+        the storage ledger).
+        """
+        if not self.alive:
+            raise ConfigurationError(f"node {self.node_id} is dead")
+        if self.board is None:
+            raise ConfigurationError(f"node {self.node_id} has no sensor board")
+        value = self.board.sample(attribute, self.node_id, epoch,
+                                  energy_sink=self.ledger.charge_sensing)
+        self.window.append(epoch, value)
+        if self.flash_index is not None:
+            before = self.flash_index.flash.stats.joules
+            self.flash_index.insert(epoch, value)
+            self._charge_flash(before)
+        return value
+
+    def history(self, last_n: int) -> "list[WindowEntry]":
+        """The most recent ``last_n`` readings, flash-first.
+
+        Reads from the flash index when attached (charging page-read
+        energy), falling back to the SRAM window. Flash survives past
+        the window capacity, so deep historic queries prefer it.
+        """
+        if self.flash_index is not None:
+            newest = self.window.latest().epoch if len(self.window) else 0
+            before = self.flash_index.flash.stats.joules
+            entries = self.flash_index.epoch_range(
+                newest - last_n + 1, newest)
+            self._charge_flash(before)
+            return entries
+        return self.window.last(last_n)
+
+    def kill(self) -> None:
+        """Mark the node dead (battery exhausted / crushed / unplugged)."""
+        self.alive = False
+
+    def __repr__(self) -> str:
+        status = "alive" if self.alive else "dead"
+        return f"SensorNode({self.node_id}, group={self.group!r}, {status})"

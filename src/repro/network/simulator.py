@@ -1,0 +1,254 @@
+"""Epoch-synchronous network simulator.
+
+The TinyDB execution model is epoch-synchronous: every epoch the sink's
+query wave travels down the routing tree, nodes sample, and partial
+results converge-cast back up, children before parents. The
+:class:`Network` reproduces that model and provides the only two
+transport primitives the algorithms use:
+
+* :meth:`Network.send_up` — unicast one logical message over a tree
+  edge from child to parent (converge-cast step); and
+* :meth:`Network.broadcast_down` — a parent transmits once and all its
+  tree children receive (the radio-broadcast optimisation TAG relies
+  on for dissemination).
+
+Both primitives fragment the message into TOS_Msg packets, charge
+transmit energy to the sender and receive energy to each receiver, and
+record everything in :class:`~repro.network.stats.NetworkStats`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Iterable, Mapping
+
+from ..errors import ConfigurationError, RoutingError, TopologyError
+from ..sensing.board import SensorBoard
+from .energy import EnergyLedger, EnergyModel
+from .link import RadioModel
+from .messages import WireMessage
+from .node import SensorNode
+from .packets import fragment
+from .stats import NetworkStats
+from .topology import Topology
+from .tree import RoutingTree
+
+
+class Network:
+    """A deployed sensor network: topology + tree + cost models + nodes."""
+
+    def __init__(self, topology: Topology,
+                 radio: RadioModel | None = None,
+                 energy: EnergyModel | None = None,
+                 tree: RoutingTree | None = None,
+                 boards: Mapping[int, SensorBoard] | None = None,
+                 group_of: Mapping[int, Hashable] | None = None,
+                 seed: int = 0):
+        """Deploy a network.
+
+        Args:
+            topology: Physical placement and connectivity.
+            radio: Link model (defaults to the MICA2 CC1000).
+            energy: Energy model (defaults to MICA2 calibration).
+            tree: Routing tree; built by BFS from the topology when
+                omitted. An explicit tree lets tests pin the exact
+                hierarchy of the paper's Figure 1.
+            boards: Per-node sensor boards; one shared board instance
+                may be passed for all nodes via a dict with every id.
+            group_of: Node id → cluster (room) membership.
+            seed: Seed for the loss process.
+        """
+        self.topology = topology
+        self.radio = radio or RadioModel(range_m=topology.radio_range)
+        self.energy = energy or EnergyModel()
+        self.tree = tree or RoutingTree.from_topology(topology)
+        missing = set(self.tree.node_ids) - set(topology.node_ids)
+        if missing:
+            raise TopologyError(f"tree references unknown nodes: {sorted(missing)}")
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        group_of = group_of or {}
+        self.nodes: dict[int, SensorNode] = {}
+        for node_id in self.tree.sensor_ids:
+            board = boards.get(node_id) if boards else None
+            self.nodes[node_id] = SensorNode(
+                node_id, board=board, group=group_of.get(node_id))
+        #: The sink keeps an energy ledger too (mains-powered in the
+        #: demo, but counting keeps totals comparable).
+        self.sink_ledger = EnergyLedger()
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def sink_id(self) -> int:
+        """The base station id."""
+        return self.tree.root
+
+    def node(self, node_id: int) -> SensorNode:
+        """The runtime of a sensor node."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown sensor {node_id}") from None
+
+    def alive_sensor_ids(self) -> tuple[int, ...]:
+        """Sensors still running, sorted by id."""
+        return tuple(i for i in self.tree.sensor_ids if self.nodes[i].alive)
+
+    def ledger(self, node_id: int) -> EnergyLedger:
+        """The energy ledger of a node (or of the sink)."""
+        if node_id == self.sink_id:
+            return self.sink_ledger
+        return self.node(node_id).ledger
+
+    def groups(self) -> dict[Hashable, int]:
+        """Cluster → number of live member sensors."""
+        counts: dict[Hashable, int] = {}
+        for node_id in self.alive_sensor_ids():
+            group = self.nodes[node_id].group
+            if group is not None:
+                counts[group] = counts.get(group, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Transport primitives
+    # ------------------------------------------------------------------
+
+    def _ship(self, sender: int, receivers: Iterable[int],
+              message: WireMessage) -> None:
+        """Fragment, apply the loss process, charge energy, record."""
+        receivers = tuple(receivers)
+        cost = fragment(message.payload_bytes)
+        attempts = 0
+        try:
+            for _ in range(cost.packets):
+                attempts += self.radio.attempts_needed(self._rng)
+        except RoutingError:
+            self.stats.record_drop()
+            raise
+        air_bytes = cost.air_bytes + (attempts - cost.packets) * (
+            cost.air_bytes // cost.packets)
+        tx_joules = air_bytes * self.energy.tx_joules_per_byte
+        rx_joules_each = air_bytes * self.energy.rx_joules_per_byte
+        self.ledger(sender).charge_tx(tx_joules)
+        for receiver in receivers:
+            self.ledger(receiver).charge_rx(rx_joules_each)
+        self.stats.record(
+            kind=message.kind,
+            packets=cost.packets,
+            payload_bytes=cost.payload_bytes,
+            air_bytes=air_bytes,
+            tx_joules=tx_joules,
+            rx_joules=rx_joules_each * len(receivers),
+            retransmissions=attempts - cost.packets,
+        )
+
+    def send_up(self, child: int, message: WireMessage) -> int:
+        """Unicast from ``child`` to its tree parent; returns the parent id."""
+        parent = self.tree.parent(child)
+        if child != self.sink_id and not self.nodes[child].alive:
+            raise RoutingError(f"dead node {child} cannot transmit")
+        self._ship(child, (parent,), message)
+        return parent
+
+    def broadcast_down(self, parent: int, message: WireMessage) -> tuple[int, ...]:
+        """One transmission from ``parent`` heard by all its tree children."""
+        children = self.tree.children(parent)
+        live = tuple(c for c in children if self.nodes[c].alive)
+        if not live:
+            return ()
+        self._ship(parent, live, message)
+        return live
+
+    def flood_down(self, make_message: Callable[[int], WireMessage | None]
+                   ) -> int:
+        """Disseminate sink→leaves: every non-leaf broadcasts once.
+
+        ``make_message(node_id)`` builds the (possibly node-specific)
+        message each forwarding parent sends; returning None suppresses
+        that hop (used by probe phases to prune the dissemination to
+        relevant subtrees). Returns the number of broadcasts sent.
+        """
+        sends = 0
+        for node_id in self.tree.pre_order():
+            if node_id != self.sink_id and not self.nodes[node_id].alive:
+                continue
+            if not self.tree.children(node_id):
+                continue
+            message = make_message(node_id)
+            if message is None:
+                continue
+            if self.broadcast_down(node_id, message):
+                sends += 1
+        return sends
+
+    def unicast_to_sink(self, origin: int, message: WireMessage) -> int:
+        """Relay hop-by-hop from ``origin`` to the sink, no merging.
+
+        Flat protocols (TPUT, FILA reports) route through the tree but
+        do not aggregate, so the same logical message pays transmit and
+        receive at every hop. Returns the number of hops charged.
+        """
+        hops = 0
+        for node_id in self.tree.path_to_root(origin)[:-1]:
+            self._ship(node_id, (self.tree.parent(node_id),), message)
+            hops += 1
+        return hops
+
+    def unicast_from_sink(self, target: int, message: WireMessage) -> int:
+        """Relay hop-by-hop from the sink to ``target``; returns hops."""
+        path = self.tree.path_to_root(target)
+        hops = 0
+        for receiver, sender in zip(path[:-1][::-1] or (), path[1:][::-1] or ()):
+            self._ship(sender, (receiver,), message)
+            hops += 1
+        return hops
+
+    # ------------------------------------------------------------------
+    # Epoch machinery
+    # ------------------------------------------------------------------
+
+    def converge_cast_order(self) -> tuple[int, ...]:
+        """Live sensors leaves-first (the per-epoch send schedule)."""
+        return tuple(
+            node_id for node_id in self.tree.post_order()
+            if node_id != self.sink_id and self.nodes[node_id].alive
+        )
+
+    def sample_all(self, attribute: str) -> dict[int, float]:
+        """Every live sensor samples ``attribute`` for the current epoch."""
+        return {
+            node_id: self.nodes[node_id].read(attribute, self.epoch)
+            for node_id in self.alive_sensor_ids()
+        }
+
+    def advance_epoch(self) -> int:
+        """Close the epoch: charge idle energy, bump the counter."""
+        for node_id in self.alive_sensor_ids():
+            self.nodes[node_id].ledger.charge_idle(
+                self.energy.idle_joules_per_epoch)
+        self.epoch += 1
+        return self.epoch
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def kill_node(self, node_id: int, repair: bool = True) -> None:
+        """Kill a sensor and, by default, repair the routing tree."""
+        if node_id == self.sink_id:
+            raise TopologyError("the sink cannot be killed")
+        self.node(node_id).kill()
+        if repair:
+            dead = [i for i, n in self.nodes.items() if not n.alive]
+            self.tree = self.tree.without(dead, self.topology)
+
+    def bottleneck_energy(self) -> tuple[int, float]:
+        """(node id, joules) of the most drained sensor — the lifetime limit."""
+        if not self.nodes:
+            raise ConfigurationError("network has no sensors")
+        node_id = max(self.nodes, key=lambda i: self.nodes[i].ledger.total)
+        return node_id, self.nodes[node_id].ledger.total

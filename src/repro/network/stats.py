@@ -1,0 +1,132 @@
+"""Traffic and energy statistics — the data behind the System Panel.
+
+Every message the simulator ships increments these counters. The System
+Panel (and every benchmark) reads them to report messages, packets,
+bytes and joules, per message kind and per protocol phase; phases are
+attributed with the :meth:`NetworkStats.phase` context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class PhaseSnapshot:
+    """Immutable totals at one instant (used for per-phase deltas)."""
+
+    messages: int
+    packets: int
+    payload_bytes: int
+    air_bytes: int
+    tx_joules: float
+    rx_joules: float
+
+    def minus(self, earlier: "PhaseSnapshot") -> "PhaseSnapshot":
+        """Component-wise difference ``self - earlier``."""
+        return PhaseSnapshot(
+            messages=self.messages - earlier.messages,
+            packets=self.packets - earlier.packets,
+            payload_bytes=self.payload_bytes - earlier.payload_bytes,
+            air_bytes=self.air_bytes - earlier.air_bytes,
+            tx_joules=self.tx_joules - earlier.tx_joules,
+            rx_joules=self.rx_joules - earlier.rx_joules,
+        )
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counters accumulated over a run."""
+
+    messages: int = 0
+    packets: int = 0
+    payload_bytes: int = 0
+    air_bytes: int = 0
+    tx_joules: float = 0.0
+    rx_joules: float = 0.0
+    retransmissions: int = 0
+    drops: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    by_phase: dict[str, PhaseSnapshot] = field(default_factory=dict)
+    _phase_stack: list[tuple[str, PhaseSnapshot]] = field(default_factory=list,
+                                                          repr=False)
+
+    def record(self, kind: str, packets: int, payload_bytes: int,
+               air_bytes: int, tx_joules: float, rx_joules: float,
+               retransmissions: int = 0) -> None:
+        """Charge one shipped logical message."""
+        self.messages += 1
+        self.packets += packets
+        self.payload_bytes += payload_bytes
+        self.air_bytes += air_bytes
+        self.tx_joules += tx_joules
+        self.rx_joules += rx_joules
+        self.retransmissions += retransmissions
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = (
+            self.bytes_by_kind.get(kind, 0) + payload_bytes
+        )
+
+    def record_drop(self) -> None:
+        """Count a packet lost beyond the retry budget."""
+        self.drops += 1
+
+    def snapshot(self) -> PhaseSnapshot:
+        """Immutable copy of the headline totals."""
+        return PhaseSnapshot(
+            messages=self.messages,
+            packets=self.packets,
+            payload_bytes=self.payload_bytes,
+            air_bytes=self.air_bytes,
+            tx_joules=self.tx_joules,
+            rx_joules=self.rx_joules,
+        )
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute everything recorded inside the block to ``name``.
+
+        Re-entering the same phase name accumulates (per-epoch phases
+        sum over a run). Nested phases attribute to the innermost name
+        and to every enclosing one (each context sees its own delta).
+        """
+        start = self.snapshot()
+        self._phase_stack.append((name, start))
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+            delta = self.snapshot().minus(start)
+            if name in self.by_phase:
+                previous = self.by_phase[name]
+                delta = PhaseSnapshot(
+                    messages=previous.messages + delta.messages,
+                    packets=previous.packets + delta.packets,
+                    payload_bytes=previous.payload_bytes + delta.payload_bytes,
+                    air_bytes=previous.air_bytes + delta.air_bytes,
+                    tx_joules=previous.tx_joules + delta.tx_joules,
+                    rx_joules=previous.rx_joules + delta.rx_joules,
+                )
+            self.by_phase[name] = delta
+
+    @property
+    def radio_joules(self) -> float:
+        """Total radio energy (transmit plus receive)."""
+        return self.tx_joules + self.rx_joules
+
+    def summary(self) -> dict[str, float]:
+        """Headline totals as a plain dict (for printing / JSON)."""
+        return {
+            "messages": self.messages,
+            "packets": self.packets,
+            "payload_bytes": self.payload_bytes,
+            "air_bytes": self.air_bytes,
+            "tx_joules": self.tx_joules,
+            "rx_joules": self.rx_joules,
+            "radio_joules": self.radio_joules,
+            "retransmissions": self.retransmissions,
+            "drops": self.drops,
+        }

@@ -1,0 +1,201 @@
+"""Sink-rooted routing tree (TAG-style collection tree).
+
+TinyDB/TAG route data over a spanning tree built during query
+dissemination: each node picks the neighbour on the shortest path to
+the sink as its parent. :class:`RoutingTree` captures that structure,
+serves the traversal orders the aggregation algorithms need
+(leaves-first converge-cast, root-first dissemination), and supports
+repair after node failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from ..errors import TopologyError
+from .topology import Topology
+
+
+class RoutingTree:
+    """Parent/children structure rooted at the sink."""
+
+    def __init__(self, root: int, parents: Mapping[int, int]):
+        """Build from an explicit child → parent map.
+
+        Args:
+            root: The sink node id.
+            parents: parent of every non-root node. Every chain must
+                terminate at ``root``; cycles raise TopologyError.
+        """
+        self._root = root
+        self._parents = dict(parents)
+        if root in self._parents:
+            raise TopologyError("the root cannot have a parent")
+        self._children: dict[int, list[int]] = {root: []}
+        for child in self._parents:
+            self._children.setdefault(child, [])
+        for child, parent in sorted(self._parents.items()):
+            if parent not in self._children:
+                raise TopologyError(
+                    f"node {child} has parent {parent} which is not in the tree"
+                )
+            self._children[parent].append(child)
+        self._depths = self._compute_depths()
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "RoutingTree":
+        """Breadth-first tree over the connectivity graph (min-hop paths).
+
+        Ties between candidate parents break toward the smallest node
+        id, which makes tree construction deterministic.
+        """
+        root = topology.sink_id
+        parents: dict[int, int] = {}
+        seen = {root}
+        frontier = deque([root])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in sorted(topology.neighbors(current)):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parents[neighbor] = current
+                    frontier.append(neighbor)
+        missing = set(topology.node_ids) - seen
+        if missing:
+            raise TopologyError(
+                f"nodes unreachable from the sink: {sorted(missing)}"
+            )
+        return cls(root, parents)
+
+    def _compute_depths(self) -> dict[int, int]:
+        depths = {self._root: 0}
+        frontier = deque([self._root])
+        visited = 1
+        while frontier:
+            current = frontier.popleft()
+            for child in self._children[current]:
+                depths[child] = depths[current] + 1
+                frontier.append(child)
+                visited += 1
+        if visited != len(self._children):
+            raise TopologyError("parent map contains a cycle or unreachable node")
+        return depths
+
+    @property
+    def root(self) -> int:
+        """The sink node id."""
+        return self._root
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All tree nodes including the root, sorted."""
+        return tuple(sorted(self._children))
+
+    @property
+    def sensor_ids(self) -> tuple[int, ...]:
+        """All tree nodes except the root."""
+        return tuple(i for i in self.node_ids if i != self._root)
+
+    def parent(self, node_id: int) -> int:
+        """The parent of a non-root node."""
+        try:
+            return self._parents[node_id]
+        except KeyError:
+            if node_id == self._root:
+                raise TopologyError("the root has no parent") from None
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def children(self, node_id: int) -> tuple[int, ...]:
+        """Direct children of a node."""
+        try:
+            return tuple(self._children[node_id])
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def depth(self, node_id: int) -> int:
+        """Hops from the root (root itself has depth 0)."""
+        try:
+            return self._depths[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest node."""
+        return max(self._depths.values())
+
+    def is_leaf(self, node_id: int) -> bool:
+        """True when the node has no children."""
+        return not self.children(node_id)
+
+    def post_order(self) -> tuple[int, ...]:
+        """Leaves-first order over ALL nodes (root last).
+
+        This is the converge-cast schedule: by the time a node is
+        visited, every descendant has already produced its message.
+        """
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(self._root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+            else:
+                stack.append((node, True))
+                for child in reversed(self._children[node]):
+                    stack.append((child, False))
+        return tuple(order)
+
+    def pre_order(self) -> tuple[int, ...]:
+        """Root-first order (the dissemination schedule)."""
+        order: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for child in reversed(self._children[node]):
+                stack.append(child)
+        return tuple(order)
+
+    def subtree(self, node_id: int) -> tuple[int, ...]:
+        """All nodes in the subtree rooted at ``node_id`` (inclusive)."""
+        nodes: list[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            nodes.append(current)
+            stack.extend(self._children[current])
+        return tuple(sorted(nodes))
+
+    def subtree_size(self, node_id: int) -> int:
+        """Number of nodes in the subtree rooted at ``node_id``."""
+        return len(self.subtree(node_id))
+
+    def path_to_root(self, node_id: int) -> tuple[int, ...]:
+        """Nodes from ``node_id`` up to and including the root."""
+        path = [node_id]
+        while path[-1] != self._root:
+            path.append(self.parent(path[-1]))
+        return tuple(path)
+
+    def without(self, dead: Iterable[int], topology: Topology) -> "RoutingTree":
+        """Repair the tree after nodes die.
+
+        Dead nodes and their (possibly orphaned) descendants are
+        re-attached by rebuilding a BFS tree on the surviving
+        connectivity graph — how TinyDB recovers when a parent stops
+        acknowledging. Raises if survivors become unreachable.
+        """
+        dead_set = set(dead)
+        if self._root in dead_set:
+            raise TopologyError("the sink cannot die")
+        survivors = {
+            i: topology.positions[i]
+            for i in self.node_ids
+            if i not in dead_set and i in topology.positions
+        }
+        repaired = Topology(positions=survivors,
+                            radio_range=topology.radio_range,
+                            sink_id=self._root)
+        return RoutingTree.from_topology(repaired)

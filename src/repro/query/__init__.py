@@ -1,0 +1,54 @@
+"""The SQL-like query dialect of KSpot.
+
+The paper's Query Panel accepts declarative queries such as::
+
+    SELECT TOP 3 roomid, AVERAGE(sound)
+    FROM sensors
+    GROUP BY roomid
+    EPOCH DURATION 1 min
+
+and the historic variants carrying ``WITH HISTORY {interval}``. This
+package is the complete pipeline from text to a logical plan:
+
+``lexer`` → ``parser`` (recursive descent over :mod:`ast_nodes`) →
+``validator`` (schema/semantic checks) → ``plan`` (query-class
+inference and algorithm routing — the "no universal algorithm"
+dispatch of §III).
+"""
+
+from .ast_nodes import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    BoolOp,
+    Literal,
+    NotOp,
+    Query,
+    SelectItem,
+)
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+from .plan import Algorithm, LogicalPlan, QueryClass, compile_query, make_plan
+from .validator import Schema, validate
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "validate",
+    "Schema",
+    "Query",
+    "SelectItem",
+    "ColumnRef",
+    "AggregateCall",
+    "Comparison",
+    "BoolOp",
+    "NotOp",
+    "Literal",
+    "QueryClass",
+    "Algorithm",
+    "LogicalPlan",
+    "make_plan",
+    "compile_query",
+]

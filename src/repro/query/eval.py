@@ -1,0 +1,89 @@
+"""Predicate evaluation and analysis.
+
+``WHERE`` clauses are evaluated in two very different places:
+
+* *static* predicates (over ``nodeid`` or a cluster key) are resolved
+  once at the sink, shrinking the participant set before dissemination;
+* *dynamic* predicates (over sensed attributes) must run per reading on
+  the mote.
+
+:func:`references` tells the planner which case it is in — MINT's
+cardinality-based bounds are only sound under static predicates, so the
+engine refuses to combine MINT with dynamic ones (see
+``KSpotEngine``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..errors import ValidationError
+from .ast_nodes import BoolOp, Comparison, NotOp, Predicate
+
+
+def references(predicate: Predicate | None) -> frozenset[str]:
+    """All attribute names a predicate mentions."""
+    if predicate is None:
+        return frozenset()
+    if isinstance(predicate, Comparison):
+        return frozenset({predicate.left.name})
+    if isinstance(predicate, NotOp):
+        return references(predicate.operand)
+    if isinstance(predicate, BoolOp):
+        names: set[str] = set()
+        for operand in predicate.operands:
+            names |= references(operand)
+        return frozenset(names)
+    raise ValidationError(f"unsupported predicate node {predicate!r}")
+
+
+def _compare(left: object, op: str, right: object) -> bool:
+    # Numeric strings from context compare as numbers when both sides
+    # are numeric; otherwise compare as strings (group labels).
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        lhs, rhs = float(left), float(right)
+    else:
+        lhs, rhs = str(left), str(right)
+    if op == "=":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise ValidationError(f"unknown comparison operator {op!r}")
+
+
+def evaluate(predicate: Predicate | None,
+             context: Mapping[str, Hashable]) -> bool:
+    """Evaluate a predicate against an attribute→value context.
+
+    Missing attributes raise — the validator guarantees the context is
+    complete for well-formed queries, so a miss is a programming error
+    worth surfacing.
+    """
+    if predicate is None:
+        return True
+    if isinstance(predicate, Comparison):
+        name = predicate.left.name
+        if name not in context:
+            raise ValidationError(
+                f"predicate references {name!r} absent from the context"
+            )
+        return _compare(context[name], predicate.op, predicate.right.value)
+    if isinstance(predicate, NotOp):
+        return not evaluate(predicate.operand, context)
+    if isinstance(predicate, BoolOp):
+        results = (evaluate(operand, context)
+                   for operand in predicate.operands)
+        if predicate.op == "AND":
+            return all(results)
+        if predicate.op == "OR":
+            return any(results)
+        raise ValidationError(f"unknown boolean operator {predicate.op!r}")
+    raise ValidationError(f"unsupported predicate node {predicate!r}")

@@ -1,0 +1,280 @@
+"""Recursive-descent parser for the KSpot dialect.
+
+Grammar (EBNF, keywords case-insensitive)::
+
+    query      := SELECT [TOP number] select_list FROM ident
+                  [WHERE predicate] [GROUP BY ident]
+                  [EPOCH DURATION duration] [WITH HISTORY duration]
+                  [LIFETIME duration] [';']
+    select_list:= item (',' item)*
+    item       := agg '(' ident ')' [AS ident] | ident [AS ident] | '*'
+    agg        := AVG | AVERAGE | MIN | MAX | SUM | COUNT
+    predicate  := disjunct (OR disjunct)*
+    disjunct   := conjunct (AND conjunct)*
+    conjunct   := NOT conjunct | '(' predicate ')' | comparison
+    comparison := ident op literal | literal op ident
+    duration   := number [ident]          -- unit defaults to seconds
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..units import Duration
+from .ast_nodes import (
+    AGGREGATES,
+    AggregateCall,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+    NotOp,
+    Predicate,
+    Query,
+    SelectItem,
+)
+from .lexer import Token, TokenType, tokenize
+
+#: Comparison operators flipped when the literal appears on the left.
+_FLIP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "!=": "!="}
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _fail(self, message: str) -> ParseError:
+        token = self.current
+        found = token.value or "end of query"
+        return ParseError(f"{message}, found {found!r}",
+                          token.line, token.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._fail(f"expected {word}")
+        return self.advance()
+
+    def expect_ident(self, what: str) -> str:
+        token = self.current
+        # EPOCH doubles as the pseudo-column ranking time instants
+        # (GROUP BY epoch) when it appears where a name is expected.
+        if token.is_keyword("EPOCH"):
+            self.advance()
+            return "epoch"
+        if token.type is not TokenType.IDENT:
+            raise self._fail(f"expected {what}")
+        return self.advance().value
+
+    def expect_number(self, what: str) -> float:
+        if self.current.type is not TokenType.NUMBER:
+            raise self._fail(f"expected {what}")
+        return float(self.advance().value)
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise self._fail(f"expected {char!r}")
+
+    # ------------------------------------------------------------------
+    # Productions
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect_keyword("SELECT")
+        top_k: int | None = None
+        if self.accept_keyword("TOP"):
+            k_value = self.expect_number("K after TOP")
+            if k_value != int(k_value) or k_value < 1:
+                raise ParseError(f"TOP K must be a positive integer, got {k_value}")
+            top_k = int(k_value)
+        select = self.parse_select_list()
+        self.expect_keyword("FROM")
+        source = self.expect_ident("relation name after FROM")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_predicate()
+        group_by = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.expect_ident("attribute after GROUP BY")
+        epoch = None
+        history = None
+        lifetime = None
+        # The tail clauses may appear in any order, each at most once.
+        while True:
+            if self.current.is_keyword("EPOCH"):
+                if epoch is not None:
+                    raise self._fail("duplicate EPOCH DURATION clause")
+                self.advance()
+                self.expect_keyword("DURATION")
+                epoch = self.parse_duration()
+            elif self.current.is_keyword("SAMPLE"):
+                # TinyDB spells the same clause SAMPLE PERIOD; accept
+                # both so TinyDB queries paste in unchanged.
+                if epoch is not None:
+                    raise self._fail("duplicate EPOCH DURATION clause")
+                self.advance()
+                self.expect_keyword("PERIOD")
+                epoch = self.parse_duration()
+            elif self.current.is_keyword("WITH"):
+                if history is not None:
+                    raise self._fail("duplicate WITH HISTORY clause")
+                self.advance()
+                self.expect_keyword("HISTORY")
+                history = self.parse_duration()
+            elif self.current.is_keyword("LIFETIME"):
+                if lifetime is not None:
+                    raise self._fail("duplicate LIFETIME clause")
+                self.advance()
+                lifetime = self.parse_duration()
+            else:
+                break
+        self.accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise self._fail("unexpected trailing input")
+        return Query(select=tuple(select), source=source, top_k=top_k,
+                     where=where, group_by=group_by, epoch=epoch,
+                     history=history, lifetime=lifetime)
+
+    def parse_select_list(self) -> list[SelectItem]:
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> SelectItem:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == "*":
+            self.advance()
+            return SelectItem(expr=ColumnRef("*"))
+        if token.type is TokenType.KEYWORD and token.value in (
+                *AGGREGATES, "AVERAGE"):
+            func = "AVG" if token.value == "AVERAGE" else token.value
+            self.advance()
+            self.expect_punct("(")
+            if self.current.type is TokenType.PUNCT and self.current.value == "*":
+                if func != "COUNT":
+                    raise self._fail(f"{func}(*) is not allowed; name an attribute")
+                self.advance()
+                argument = "*"
+            else:
+                argument = self.expect_ident(f"attribute inside {func}()")
+            self.expect_punct(")")
+            return SelectItem(expr=AggregateCall(func, argument),
+                              alias=self.parse_alias())
+        name = self.expect_ident("column name or aggregate")
+        return SelectItem(expr=ColumnRef(name), alias=self.parse_alias())
+
+    def parse_alias(self) -> str | None:
+        if self.accept_keyword("AS"):
+            return self.expect_ident("alias after AS")
+        return None
+
+    def parse_predicate(self) -> Predicate:
+        left = self.parse_conjunction()
+        operands = [left]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_conjunction())
+        if len(operands) == 1:
+            return left
+        return BoolOp("OR", tuple(operands))
+
+    def parse_conjunction(self) -> Predicate:
+        left = self.parse_factor()
+        operands = [left]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_factor())
+        if len(operands) == 1:
+            return left
+        return BoolOp("AND", tuple(operands))
+
+    def parse_factor(self) -> Predicate:
+        if self.accept_keyword("NOT"):
+            return NotOp(self.parse_factor())
+        if self.accept_punct("("):
+            inner = self.parse_predicate()
+            self.expect_punct(")")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Comparison:
+        token = self.current
+        if token.type is TokenType.IDENT or token.is_keyword("EPOCH"):
+            left_name = self.expect_ident("attribute")
+            op = self.expect_operator()
+            right = self.parse_literal()
+            return Comparison(ColumnRef(left_name), op, right)
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            literal = self.parse_literal()
+            op = self.expect_operator()
+            name = self.expect_ident("attribute on one side of a comparison")
+            return Comparison(ColumnRef(name), _FLIP[op], literal)
+        raise self._fail("expected a comparison")
+
+    def expect_operator(self) -> str:
+        token = self.current
+        if token.type is not TokenType.OPERATOR:
+            raise self._fail("expected a comparison operator")
+        return self.advance().value
+
+    def parse_literal(self) -> Literal:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.IDENT:
+            # Bare identifiers on the right-hand side compare against
+            # string group labels (roomid = A).
+            self.advance()
+            return Literal(token.value)
+        raise self._fail("expected a literal")
+
+    def parse_duration(self) -> Duration:
+        amount = self.expect_number("a duration amount")
+        token = self.current
+        if token.type is TokenType.IDENT:
+            unit = self.advance().value
+        elif token.type is TokenType.KEYWORD and token.value == "MIN":
+            # "1 min" lexes MIN as the aggregate keyword; in duration
+            # position it is the time unit.
+            self.advance()
+            unit = "min"
+        else:
+            unit = "s"
+        return Duration(amount, unit)
+
+
+def parse(text: str) -> Query:
+    """Parse query text into a :class:`Query` AST.
+
+    Raises:
+        LexError / ParseError: with 1-based line/column positions.
+    """
+    return _Parser(tokenize(text)).parse_query()

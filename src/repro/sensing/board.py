@@ -1,0 +1,80 @@
+"""The sensor-board model a node carries.
+
+A :class:`SensorBoard` binds MTS310 modalities to field generators and
+serves quantized samples, charging the sampling energy to a caller-
+provided ledger. This is the software stand-in for the physical MTS310
+expansion board of the demo (§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import ConfigurationError, ValidationError
+from .generators import FieldGenerator
+from .modalities import Modality, get_modality
+
+#: Callback the board uses to charge sampling energy: (joules) -> None.
+EnergySink = Callable[[float], None]
+
+
+class SensorBoard:
+    """Per-node sensing hardware: attribute name → field generator."""
+
+    def __init__(self, fields: Mapping[str, FieldGenerator],
+                 quantize: bool = True):
+        """Args:
+            fields: Channel name → generator producing its readings.
+            quantize: Snap readings to the ADC grid (the physical
+                behaviour). Pinned textbook scenarios disable it so
+                hand-picked values round-trip exactly.
+        """
+        if not fields:
+            raise ConfigurationError("a sensor board needs at least one channel")
+        self._quantize = quantize
+        self._fields: dict[str, FieldGenerator] = {}
+        self._modalities: dict[str, Modality] = {}
+        for name, generator in fields.items():
+            self._fields[name] = generator
+            self._modalities[name] = get_modality(name)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The channels this board can sample, sorted by name."""
+        return tuple(sorted(self._fields))
+
+    def modality(self, attribute: str) -> Modality:
+        """The modality metadata for a channel on this board."""
+        try:
+            return self._modalities[attribute]
+        except KeyError:
+            raise ValidationError(
+                f"board has no {attribute!r} channel; available: "
+                f"{', '.join(self.attributes)}"
+            ) from None
+
+    def sample(self, attribute: str, node_id: int, epoch: int,
+               energy_sink: EnergySink | None = None) -> float:
+        """Acquire one quantized reading, charging sampling energy.
+
+        Args:
+            attribute: Channel to sample.
+            node_id: Identity of the sampling node (fields are node-aware).
+            epoch: Current epoch number.
+            energy_sink: Optional ledger callback charged with the
+                modality's sampling cost.
+        """
+        modality = self.modality(attribute)
+        if energy_sink is not None:
+            energy_sink(modality.sample_cost_joules)
+        if self._quantize:
+            return self._fields[attribute].bounded(modality, node_id, epoch)
+        return modality.clamp(self._fields[attribute].value(node_id, epoch))
+
+    def sample_all(self, node_id: int, epoch: int,
+                   energy_sink: EnergySink | None = None) -> dict[str, float]:
+        """Sample every channel on the board at once."""
+        return {
+            attribute: self.sample(attribute, node_id, epoch, energy_sink)
+            for attribute in self.attributes
+        }

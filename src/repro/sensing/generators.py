@@ -1,0 +1,262 @@
+"""Deterministic synthetic field generators.
+
+The paper's demo senses a live conference sound field. That field is not
+available offline, so experiments run on synthetic fields whose skew and
+spatial correlation are controllable — the properties that drive top-k
+pruning efficacy. All generators are seeded and therefore reproducible.
+
+A *field generator* answers one question: what does node ``node_id``
+read at epoch ``epoch``? Generators are composable (see
+:class:`RoomField`, which layers per-room baselines, room random walks
+and per-node noise, reproducing the "rooms with active discussions"
+scenario of the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .modalities import Modality
+
+
+def _rng_for(seed: int, node_id: int, epoch: int) -> random.Random:
+    """A private RNG for one (node, epoch) cell.
+
+    Seeding per cell makes every reading independent of evaluation
+    order: the simulator may sample nodes in any order (or resample
+    after a failure) and still observe identical values.
+    """
+    return random.Random((seed * 1_000_003 + node_id) * 1_000_033 + epoch)
+
+
+class FieldGenerator(ABC):
+    """Produces the physical value sensed by a node at an epoch."""
+
+    @abstractmethod
+    def value(self, node_id: int, epoch: int) -> float:
+        """The raw (unquantized) reading of ``node_id`` at ``epoch``."""
+
+    def bounded(self, modality: Modality, node_id: int, epoch: int) -> float:
+        """The reading clamped and quantized to a modality's ADC."""
+        return modality.quantize(self.value(node_id, epoch))
+
+
+class ConstantField(FieldGenerator):
+    """Every node reads a fixed per-node constant.
+
+    Used for pinned scenarios such as the paper's Figure 1, where the
+    nine sensors read exactly {40, 74, 75, 42, 75, 75, 78, 75, 39}.
+    """
+
+    def __init__(self, values: Mapping[int, float], default: float = 0.0):
+        self._values = dict(values)
+        self._default = default
+
+    def value(self, node_id: int, epoch: int) -> float:
+        return self._values.get(node_id, self._default)
+
+
+class UniformRandomField(FieldGenerator):
+    """Independent uniform readings in ``[lo, hi]``."""
+
+    def __init__(self, lo: float, hi: float, seed: int = 0):
+        if lo > hi:
+            raise ConfigurationError("UniformRandomField: lo must be <= hi")
+        self._lo = lo
+        self._hi = hi
+        self._seed = seed
+
+    def value(self, node_id: int, epoch: int) -> float:
+        return _rng_for(self._seed, node_id, epoch).uniform(self._lo, self._hi)
+
+
+class GaussianNoiseField(FieldGenerator):
+    """A base field plus independent Gaussian noise per reading."""
+
+    def __init__(self, base: FieldGenerator, sigma: float, seed: int = 0):
+        if sigma < 0:
+            raise ConfigurationError("sigma must be non-negative")
+        self._base = base
+        self._sigma = sigma
+        self._seed = seed
+
+    def value(self, node_id: int, epoch: int) -> float:
+        noise = _rng_for(self._seed ^ 0x5EED, node_id, epoch).gauss(0.0, self._sigma)
+        return self._base.value(node_id, epoch) + noise
+
+
+class RandomWalkField(FieldGenerator):
+    """Per-node bounded random walk — temporally correlated readings.
+
+    Temporal correlation is what makes MINT's cached views pay off: a
+    view whose tuples barely move needs few update messages.
+    """
+
+    def __init__(self, start: float, step: float, lo: float, hi: float,
+                 seed: int = 0):
+        if lo > hi:
+            raise ConfigurationError("RandomWalkField: lo must be <= hi")
+        self._start = min(hi, max(lo, start))
+        self._step = step
+        self._lo = lo
+        self._hi = hi
+        self._seed = seed
+        self._cache: dict[int, list[float]] = {}
+
+    def value(self, node_id: int, epoch: int) -> float:
+        walk = self._cache.setdefault(node_id, [self._start])
+        while len(walk) <= epoch:
+            t = len(walk)
+            rng = _rng_for(self._seed ^ 0xA1C, node_id, t)
+            nxt = walk[-1] + rng.uniform(-self._step, self._step)
+            walk.append(min(self._hi, max(self._lo, nxt)))
+        return walk[epoch]
+
+
+class DiurnalField(FieldGenerator):
+    """Sinusoidal day/night pattern plus per-node phase offset.
+
+    Models temperature-style signals: ``mean + amplitude *
+    sin(2π (epoch/period + phase(node)))``.
+    """
+
+    def __init__(self, mean: float, amplitude: float, period_epochs: int,
+                 seed: int = 0, common_phase: bool = False):
+        """``common_phase=True`` drives every node with the *same*
+        oscillation (one shared weather signal) — the workload where a
+        time instant hot at one node is hot at all of them, which is
+        what historic-vertical queries rank."""
+        if period_epochs <= 0:
+            raise ConfigurationError("period_epochs must be positive")
+        self._mean = mean
+        self._amplitude = amplitude
+        self._period = period_epochs
+        self._seed = seed
+        self._common_phase = common_phase
+
+    def value(self, node_id: int, epoch: int) -> float:
+        phase_key = 0 if self._common_phase else node_id
+        phase = random.Random(self._seed * 7919 + phase_key).random()
+        angle = 2.0 * math.pi * (epoch / self._period + phase)
+        return self._mean + self._amplitude * math.sin(angle)
+
+
+class ZipfEventField(FieldGenerator):
+    """Zipf-skewed event magnitudes over groups of nodes.
+
+    With skew ``s = 0`` every group is equally loud on average; as ``s``
+    grows a few groups dominate, which is the regime where top-k pruning
+    saves the most traffic. Group ``r`` (by popularity rank) has expected
+    magnitude proportional to ``1 / (r+1)^s``; per-epoch jitter is
+    uniform within ±``jitter``.
+    """
+
+    def __init__(self, group_of: Mapping[int, int], lo: float, hi: float,
+                 skew: float, jitter: float = 5.0, seed: int = 0):
+        if lo > hi:
+            raise ConfigurationError("ZipfEventField: lo must be <= hi")
+        if skew < 0:
+            raise ConfigurationError("skew must be non-negative")
+        self._group_of = dict(group_of)
+        self._lo = lo
+        self._hi = hi
+        self._skew = skew
+        self._jitter = jitter
+        self._seed = seed
+        groups = sorted(set(self._group_of.values()))
+        ranks = list(range(len(groups)))
+        random.Random(seed).shuffle(ranks)
+        weights = [1.0 / (r + 1) ** skew for r in ranks]
+        top = max(weights) if weights else 1.0
+        self._level = {
+            g: lo + (hi - lo) * w / top for g, w in zip(groups, weights)
+        }
+
+    def group_level(self, group: int) -> float:
+        """The expected magnitude of a group (before jitter)."""
+        return self._level[group]
+
+    def value(self, node_id: int, epoch: int) -> float:
+        group = self._group_of.get(node_id)
+        if group is None:
+            return self._lo
+        base = self._level[group]
+        jit = _rng_for(self._seed ^ 0x21F, node_id, epoch).uniform(
+            -self._jitter, self._jitter)
+        return min(self._hi, max(self._lo, base + jit))
+
+
+class RoomField(FieldGenerator):
+    """The conference-room sound model.
+
+    Each room has a slowly-wandering activity level (a random walk —
+    discussions heat up and cool down); every sensor in the room reads
+    the room level plus small per-sensor Gaussian noise. This is the
+    synthetic stand-in for the paper's "rooms with the most active
+    discussions" demo scenario.
+    """
+
+    def __init__(self, room_of: Mapping[int, str | int], lo: float = 0.0,
+                 hi: float = 100.0, room_step: float = 4.0,
+                 sensor_sigma: float = 1.5, seed: int = 0):
+        self._room_of = dict(room_of)
+        self._sigma = sensor_sigma
+        self._lo = lo
+        self._hi = hi
+        self._seed = seed
+        rooms = sorted(set(self._room_of.values()), key=str)
+        rng = random.Random(seed)
+        self._room_walks = {
+            room: RandomWalkField(
+                start=rng.uniform(lo + 0.2 * (hi - lo), hi - 0.2 * (hi - lo)),
+                step=room_step, lo=lo, hi=hi,
+                seed=seed * 131 + index,
+            )
+            for index, room in enumerate(rooms)
+        }
+
+    def room_level(self, room: str | int, epoch: int) -> float:
+        """Ground-truth activity level of a room at an epoch."""
+        return self._room_walks[room].value(0, epoch)
+
+    def value(self, node_id: int, epoch: int) -> float:
+        room = self._room_of.get(node_id)
+        if room is None:
+            return self._lo
+        level = self.room_level(room, epoch)
+        noise = _rng_for(self._seed ^ 0xB00, node_id, epoch).gauss(0.0, self._sigma)
+        return min(self._hi, max(self._lo, level + noise))
+
+
+class TableField(FieldGenerator):
+    """Readings replayed from an explicit (epoch → node → value) table.
+
+    The inverse of :class:`repro.sensing.traces.TraceRecorder`; also the
+    workhorse for historic-query experiments that need a fixed dense
+    matrix of history.
+    """
+
+    def __init__(self, table: Sequence[Mapping[int, float]],
+                 default: float = 0.0, cycle: bool = False):
+        if not table:
+            raise ConfigurationError("TableField requires at least one epoch row")
+        self._table = [dict(row) for row in table]
+        self._default = default
+        self._cycle = cycle
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def value(self, node_id: int, epoch: int) -> float:
+        if epoch >= len(self._table):
+            if not self._cycle:
+                raise ConfigurationError(
+                    f"TableField holds {len(self._table)} epochs; "
+                    f"epoch {epoch} requested (pass cycle=True to wrap)"
+                )
+            epoch %= len(self._table)
+        return self._table[epoch].get(node_id, self._default)

@@ -1,0 +1,107 @@
+"""Catalogue of MTS310 sensing modalities.
+
+The MTS310 sensor board (§IV-A of the paper) carries a 2-axis
+accelerometer, a 2-axis magnetometer, light, temperature, acoustic and
+sounder components. Each modality here records the physical value range
+the simulator generates within, the ADC resolution of the real board,
+and the sampling cost used by the energy model.
+
+The value ranges double as the *attribute bounds* ``[lo, hi]`` that the
+MINT bounding framework relies on: a top-k certification needs to know
+the smallest and largest value a reading can take (e.g. sound level as a
+percentage lies in [0, 100]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Modality:
+    """One sensing channel of the MTS310 board.
+
+    Attributes:
+        name: Attribute name used in queries (``SELECT ... AVERAGE(sound)``).
+        unit: Human-readable physical unit.
+        lo: Smallest value the channel can report.
+        hi: Largest value the channel can report.
+        adc_bits: Resolution of the mote ADC for this channel.
+        sample_cost_joules: Energy to acquire one sample (sensor warm-up
+            plus ADC conversion), used by the node energy ledger.
+    """
+
+    name: str
+    unit: str
+    lo: float
+    hi: float
+    adc_bits: int = 10
+    sample_cost_joules: float = 90e-6
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise ValidationError(
+                f"modality {self.name!r}: lo ({self.lo}) must be < hi ({self.hi})"
+            )
+        if self.adc_bits <= 0:
+            raise ValidationError("adc_bits must be positive")
+        if self.sample_cost_joules < 0:
+            raise ValidationError("sample cost must be non-negative")
+
+    @property
+    def span(self) -> float:
+        """Width of the value range."""
+        return self.hi - self.lo
+
+    def clamp(self, value: float) -> float:
+        """Clip ``value`` into the channel's physical range."""
+        return min(self.hi, max(self.lo, value))
+
+    def quantize(self, value: float) -> float:
+        """Snap ``value`` to the nearest ADC step, as the real board would."""
+        steps = (1 << self.adc_bits) - 1
+        clamped = self.clamp(value)
+        index = round((clamped - self.lo) / self.span * steps)
+        return self.lo + index * self.span / steps
+
+
+#: The MTS310 channels, in the order the datasheet lists them. Sound is
+#: expressed as a percentage to match the paper's running example.
+MODALITIES: dict[str, Modality] = {
+    m.name: m
+    for m in (
+        Modality("sound", "% of full scale", 0.0, 100.0, adc_bits=10,
+                 sample_cost_joules=90e-6),
+        Modality("temperature", "degrees Celsius", -10.0, 60.0, adc_bits=10,
+                 sample_cost_joules=90e-6),
+        Modality("light", "lux (normalised)", 0.0, 1000.0, adc_bits=10,
+                 sample_cost_joules=90e-6),
+        Modality("accel_x", "g", -2.0, 2.0, adc_bits=10,
+                 sample_cost_joules=120e-6),
+        Modality("accel_y", "g", -2.0, 2.0, adc_bits=10,
+                 sample_cost_joules=120e-6),
+        Modality("mag_x", "mgauss", -4000.0, 4000.0, adc_bits=10,
+                 sample_cost_joules=150e-6),
+        Modality("mag_y", "mgauss", -4000.0, 4000.0, adc_bits=10,
+                 sample_cost_joules=150e-6),
+        Modality("voltage", "volts", 0.0, 3.3, adc_bits=10,
+                 sample_cost_joules=30e-6),
+    )
+}
+
+
+def get_modality(name: str) -> Modality:
+    """Look up a modality by attribute name.
+
+    Raises:
+        ValidationError: if the attribute is not an MTS310 channel.
+    """
+    try:
+        return MODALITIES[name]
+    except KeyError:
+        known = ", ".join(sorted(MODALITIES))
+        raise ValidationError(
+            f"unknown sensed attribute {name!r}; MTS310 provides: {known}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Trace recording, replay, and CSV round-tripping.
+
+A *trace* is a dense epoch × node matrix of readings for one attribute.
+Traces make experiments repeatable across algorithms: the same recorded
+readings can be fed to MINT, TAG and the centralized oracle so their
+answers are comparable tuple-for-tuple.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ConfigurationError
+from .generators import FieldGenerator, TableField
+
+
+@dataclass
+class Trace:
+    """A recorded run: ``rows[epoch][node_id] = value``."""
+
+    attribute: str
+    rows: list[dict[int, float]] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of recorded epochs."""
+        return len(self.rows)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """Sorted union of node ids appearing anywhere in the trace."""
+        ids: set[int] = set()
+        for row in self.rows:
+            ids.update(row)
+        return tuple(sorted(ids))
+
+    def value(self, node_id: int, epoch: int) -> float:
+        """The recorded reading; raises if the cell was never recorded."""
+        try:
+            return self.rows[epoch][node_id]
+        except (IndexError, KeyError):
+            raise ConfigurationError(
+                f"trace has no reading for node {node_id} at epoch {epoch}"
+            ) from None
+
+    def column(self, node_id: int) -> list[float]:
+        """One node's full time series (missing cells are skipped)."""
+        return [row[node_id] for row in self.rows if node_id in row]
+
+    def to_csv(self) -> str:
+        """Serialize as CSV with an ``epoch`` column plus one per node."""
+        nodes = self.node_ids
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["epoch", *[f"node_{n}" for n in nodes]])
+        for epoch, row in enumerate(self.rows):
+            writer.writerow([epoch, *[row.get(n, "") for n in nodes]])
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, attribute: str = "value") -> "Trace":
+        """Parse a trace previously produced by :meth:`to_csv`."""
+        reader = csv.reader(io.StringIO(text))
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigurationError("empty trace CSV") from None
+        if not header or header[0] != "epoch":
+            raise ConfigurationError("trace CSV must start with an 'epoch' column")
+        node_ids = []
+        for name in header[1:]:
+            if not name.startswith("node_"):
+                raise ConfigurationError(f"bad trace column name: {name!r}")
+            node_ids.append(int(name[len("node_"):]))
+        rows: list[dict[int, float]] = []
+        for record in reader:
+            if not record:
+                continue
+            row = {
+                node_id: float(cell)
+                for node_id, cell in zip(node_ids, record[1:])
+                if cell != ""
+            }
+            rows.append(row)
+        return cls(attribute=attribute, rows=rows)
+
+    def as_field(self, cycle: bool = False) -> TableField:
+        """View this trace as a :class:`FieldGenerator` for replay."""
+        return TableField(self.rows, cycle=cycle)
+
+    def __iter__(self) -> Iterator[dict[int, float]]:
+        return iter(self.rows)
+
+
+class TraceRecorder:
+    """Samples a field generator into a :class:`Trace`.
+
+    >>> from repro.sensing.generators import ConstantField
+    >>> rec = TraceRecorder(ConstantField({1: 5.0}), node_ids=[1], attribute="sound")
+    >>> rec.record(epochs=3).rows
+    [{1: 5.0}, {1: 5.0}, {1: 5.0}]
+    """
+
+    def __init__(self, generator: FieldGenerator, node_ids: Iterable[int],
+                 attribute: str = "value"):
+        self._generator = generator
+        self._node_ids = tuple(node_ids)
+        if not self._node_ids:
+            raise ConfigurationError("TraceRecorder needs at least one node id")
+        self._attribute = attribute
+
+    def record(self, epochs: int, start_epoch: int = 0) -> Trace:
+        """Record ``epochs`` consecutive epochs starting at ``start_epoch``."""
+        if epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        rows = [
+            {n: self._generator.value(n, start_epoch + t) for n in self._node_ids}
+            for t in range(epochs)
+        ]
+        return Trace(attribute=self._attribute, rows=rows)
+
+
+def replay(trace: Trace | Mapping[int, Mapping[int, float]],
+           cycle: bool = False) -> FieldGenerator:
+    """Build a generator replaying ``trace`` (a Trace or epoch→node→value map)."""
+    if isinstance(trace, Trace):
+        return trace.as_field(cycle=cycle)
+    epochs = sorted(trace)
+    if epochs != list(range(len(epochs))):
+        raise ConfigurationError("replay mapping must use contiguous epochs from 0")
+    return TableField([dict(trace[e]) for e in epochs], cycle=cycle)

@@ -1,0 +1,11 @@
+"""The KSpot server tier (§II).
+
+The base station software: accepts declarative queries from the Query
+Panel, validates them against the deployment, routes them to the right
+top-k algorithm, disseminates execution into the network, and feeds the
+Display and System panels as epoch results stream back.
+"""
+
+from .server import KSpotServer
+
+__all__ = ["KSpotServer"]

@@ -1,0 +1,131 @@
+"""KSpotServer: the modified-TinyDB base station of the demo.
+
+One server owns one deployed network. Users submit SQL-like query text;
+the server compiles it (parse → validate → plan → route, §III), spins
+up the execution engine, and streams epoch results. When given a
+*shadow network* — an identical deployment running the TAG baseline —
+it also feeds the System Panel with the live savings the demo projects
+on the wall.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from ..core.engine import KSpotEngine
+from ..core.mint import MintConfig
+from ..core.results import EpochResult
+from ..core.tja import TjaResult
+from ..core.tput import TputResult
+from ..errors import PlanError, ValidationError
+from ..gui.panels import DisplayPanel
+from ..gui.stats import SystemPanel
+from ..network.simulator import Network
+from ..query.plan import Algorithm, LogicalPlan, QueryClass, compile_query
+from ..query.validator import Schema
+
+
+class KSpotServer:
+    """Query front-door plus panel feeds for one deployment."""
+
+    def __init__(self, network: Network,
+                 schema: Schema | None = None,
+                 group_of: Mapping[int, Hashable] | None = None,
+                 display: DisplayPanel | None = None,
+                 baseline_network: Network | None = None,
+                 mint_config: MintConfig | None = None):
+        """Args:
+            network: The deployed sensor network.
+            schema: Queryable attributes; derived from the first
+                node's board when omitted.
+            group_of: Cluster mapping (defaults to node groups).
+            display: Optional Display Panel to re-rank each epoch.
+            baseline_network: An identical shadow deployment; when
+                present, every submitted top-k query also runs there
+                under TAG and the System Panel reports the savings.
+        """
+        self.network = network
+        self.schema = schema or self._derive_schema(network)
+        self.group_of = group_of
+        self.display = display
+        self.baseline_network = baseline_network
+        self.mint_config = mint_config
+        self.engine: KSpotEngine | None = None
+        self.baseline_engine: KSpotEngine | None = None
+        self.system_panel: SystemPanel | None = None
+        self.plan: LogicalPlan | None = None
+        self.results: list[EpochResult] = []
+
+    @staticmethod
+    def _derive_schema(network: Network) -> Schema:
+        for node_id in network.tree.sensor_ids:
+            board = network.node(node_id).board
+            if board is not None:
+                return Schema.for_deployment(board.attributes,
+                                             group_keys=("roomid", "cluster"))
+        raise ValidationError("no sensor board found to derive a schema from")
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, query_text: str,
+               algorithm: Algorithm | None = None) -> LogicalPlan:
+        """Compile a query and prepare execution (Query Panel → engine)."""
+        _, plan = compile_query(query_text, self.schema, algorithm=algorithm)
+        self.plan = plan
+        self.engine = KSpotEngine(self.network, plan,
+                                  group_of=self.group_of,
+                                  mint_config=self.mint_config)
+        self.results = []
+        self.baseline_engine = None
+        self.system_panel = None
+        if (self.baseline_network is not None
+                and plan.query_class is not QueryClass.HISTORIC_VERTICAL
+                and plan.k is not None):
+            _, baseline_plan = compile_query(query_text, self.schema,
+                                             algorithm=Algorithm.TAG)
+            self.baseline_engine = KSpotEngine(self.baseline_network,
+                                               baseline_plan,
+                                               group_of=self.group_of)
+            self.system_panel = SystemPanel(
+                self.network.stats, self.baseline_network.stats)
+        return plan
+
+    def _require_engine(self) -> KSpotEngine:
+        if self.engine is None:
+            raise PlanError("no query submitted")
+        return self.engine
+
+    def stream(self, epochs: int) -> Iterator[EpochResult]:
+        """Run a continuous query, yielding one result per epoch.
+
+        Panels update as results arrive: the Display Panel re-ranks its
+        bullets, the System Panel samples the savings.
+        """
+        engine = self._require_engine()
+        for _ in range(epochs):
+            result = engine.run_epoch()
+            if self.baseline_engine is not None:
+                self.baseline_engine.run_epoch()
+            if self.system_panel is not None:
+                self.system_panel.sample()
+            if self.display is not None:
+                self.display.update_ranking(result)
+            self.results.append(result)
+            yield result
+
+    def run(self, epochs: int) -> list[EpochResult]:
+        """Run and collect (non-streaming convenience)."""
+        return list(self.stream(epochs))
+
+    def run_historic(self, acquisition_epochs: int | None = None
+                     ) -> "TjaResult | TputResult":
+        """Execute a historic-vertical query end-to-end.
+
+        Fills the local windows (radio-silent acquisition), then runs
+        the one-shot TJA/TPUT execution.
+        """
+        engine = self._require_engine()
+        engine.fill_windows(acquisition_epochs)
+        return engine.execute_historic()

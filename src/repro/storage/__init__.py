@@ -1,0 +1,21 @@
+"""Local storage substrate: sliding windows, flash model, MicroHash.
+
+Historic top-k queries (§III-B) require each sensor to "buffer sensor
+readings locally in a sliding window fashion (either in main memory or
+on flash)". :class:`~repro.storage.window.SlidingWindow` is the
+main-memory path (IMote2-class SRAM); :mod:`repro.storage.flash` +
+:mod:`repro.storage.microhash` model the flash path of the cited
+MicroHash index (USENIX FAST 2005), with page-level cost accounting.
+"""
+
+from .flash import FlashModel, FlashStats
+from .microhash import MicroHashIndex
+from .window import SlidingWindow, WindowEntry
+
+__all__ = [
+    "SlidingWindow",
+    "WindowEntry",
+    "FlashModel",
+    "FlashStats",
+    "MicroHashIndex",
+]

@@ -1,0 +1,181 @@
+"""Simplified MicroHash index over the flash model.
+
+MicroHash (Zeinalipour-Yazti et al., USENIX FAST 2005 — reference [10]
+of the paper) indexes time-series readings on flash so that a mote can
+answer value-range and time-range queries without scanning its whole
+history. The structure reproduced here keeps its two essential ideas:
+
+* readings are batched into *data pages* written strictly sequentially
+  (flash-friendly: no in-place updates); and
+* a *directory* of value buckets maps each bucket to the chain of data
+  pages containing readings in that bucket, so a value-range lookup
+  touches only the relevant chains.
+
+Historic queries use it for the "local search and filtering in the
+respective history window" step of §III-B, with page reads charged to
+the flash energy meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError, StorageError
+from .flash import FlashModel
+from .window import WindowEntry
+
+
+@dataclass(frozen=True)
+class _DataPage:
+    """One flash page of buffered readings (kept sorted by epoch)."""
+
+    entries: tuple[WindowEntry, ...]
+    min_epoch: int
+    max_epoch: int
+    min_value: float
+    max_value: float
+
+
+class MicroHashIndex:
+    """Value-bucket directory over sequentially written data pages."""
+
+    def __init__(self, flash: FlashModel, lo: float, hi: float,
+                 buckets: int = 16, entries_per_page: int | None = None):
+        if lo >= hi:
+            raise ConfigurationError("MicroHash needs lo < hi")
+        if buckets < 1:
+            raise ConfigurationError("need at least one value bucket")
+        self._flash = flash
+        self._lo = lo
+        self._hi = hi
+        self._buckets = buckets
+        # A WindowEntry costs ~8 bytes on flash (4-byte epoch + 4-byte value).
+        self._entries_per_page = entries_per_page or max(1, flash.page_bytes // 8)
+        self._directory: list[list[int]] = [[] for _ in range(buckets)]
+        self._pending: list[WindowEntry] = []
+        self._count = 0
+
+    @property
+    def entry_count(self) -> int:
+        """Total readings stored (flushed and pending)."""
+        return self._count
+
+    @property
+    def flash(self) -> FlashModel:
+        """The underlying device (exposes operation counters)."""
+        return self._flash
+
+    def bucket_of(self, value: float) -> int:
+        """The directory bucket a value hashes (range-partitions) into."""
+        if not self._lo <= value <= self._hi:
+            raise StorageError(
+                f"value {value} outside indexed range [{self._lo}, {self._hi}]"
+            )
+        if value == self._hi:
+            return self._buckets - 1
+        width = (self._hi - self._lo) / self._buckets
+        return int((value - self._lo) / width)
+
+    def insert(self, epoch: int, value: float) -> None:
+        """Buffer one reading; flushes a full page to flash."""
+        self.bucket_of(value)  # validates the range
+        if self._pending and epoch < self._pending[-1].epoch:
+            raise StorageError("out-of-order insert")
+        self._pending.append(WindowEntry(epoch, value))
+        self._count += 1
+        if len(self._pending) >= self._entries_per_page:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write pending readings as one data page and index it."""
+        if not self._pending:
+            return
+        entries = tuple(self._pending)
+        page = _DataPage(
+            entries=entries,
+            min_epoch=entries[0].epoch,
+            max_epoch=entries[-1].epoch,
+            min_value=min(e.value for e in entries),
+            max_value=max(e.value for e in entries),
+        )
+        page_number = self._flash.append_page(page)
+        touched = {self.bucket_of(e.value) for e in entries}
+        for bucket in touched:
+            self._directory[bucket].append(page_number)
+        self._pending.clear()
+
+    def _pages_for_value_range(self, lo: float, hi: float) -> list[int]:
+        lo = max(lo, self._lo)
+        hi = min(hi, self._hi)
+        if lo > hi:
+            return []
+        first = self.bucket_of(lo)
+        last = self.bucket_of(hi)
+        pages: set[int] = set()
+        for bucket in range(first, last + 1):
+            pages.update(self._directory[bucket])
+        return sorted(pages)
+
+    def value_range(self, lo: float, hi: float) -> list[WindowEntry]:
+        """All readings with value in ``[lo, hi]``, charged per page read."""
+        results = [e for e in self._pending if lo <= e.value <= hi]
+        for page_number in self._pages_for_value_range(lo, hi):
+            page = self._flash.read_page(page_number)
+            assert isinstance(page, _DataPage)
+            results.extend(e for e in page.entries if lo <= e.value <= hi)
+        results.sort(key=lambda e: e.epoch)
+        return results
+
+    def epoch_range(self, start: int, end: int) -> list[WindowEntry]:
+        """All readings with epoch in ``[start, end]``.
+
+        Data pages are time-ordered, so the scan binary-searches the
+        page sequence by epoch bounds instead of using the directory.
+        """
+        if start > end:
+            return []
+        results = [e for e in self._pending if start <= e.epoch <= end]
+        for page_number in range(len(self._flash)):
+            page = self._flash.read_page(page_number)
+            assert isinstance(page, _DataPage)
+            if page.max_epoch < start:
+                continue
+            if page.min_epoch > end:
+                break
+            results.extend(e for e in page.entries if start <= e.epoch <= end)
+        results.sort(key=lambda e: e.epoch)
+        return results
+
+    def top_k(self, k: int) -> list[WindowEntry]:
+        """The k highest-valued readings, probing buckets top-down.
+
+        This is the MicroHash access pattern that makes local top-k
+        cheap: start from the highest value bucket and stop as soon as
+        k readings from buckets strictly above the remaining ones are
+        in hand.
+        """
+        if k < 0:
+            raise StorageError("k must be non-negative")
+        if k == 0:
+            return []
+        results: list[WindowEntry] = list(self._pending)
+        width = (self._hi - self._lo) / self._buckets
+        seen_pages: set[int] = set()
+        for bucket in range(self._buckets - 1, -1, -1):
+            for page_number in self._directory[bucket]:
+                if page_number in seen_pages:
+                    continue
+                seen_pages.add(page_number)
+                page = self._flash.read_page(page_number)
+                assert isinstance(page, _DataPage)
+                results.extend(page.entries)
+            # Every stored reading >= this bucket's floor is now in hand;
+            # anything still on flash is strictly smaller, so k hits from
+            # this level upward certify the answer.
+            bucket_floor = self._lo + bucket * width
+            certain = sum(1 for e in results if e.value >= bucket_floor)
+            if certain >= k:
+                break
+        ranked = sorted(results, key=lambda e: (-e.value, e.epoch))
+        return ranked[:k]

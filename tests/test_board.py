@@ -1,0 +1,71 @@
+"""SensorBoard: sampling, quantization, energy charging."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.sensing.board import SensorBoard
+from repro.sensing.generators import ConstantField
+from repro.sensing.modalities import get_modality
+
+
+@pytest.fixture
+def board():
+    return SensorBoard({
+        "sound": ConstantField({1: 42.42}),
+        "temperature": ConstantField({1: 21.0}),
+    })
+
+
+class TestSampling:
+    def test_sample_returns_quantized_value(self, board):
+        value = board.sample("sound", 1, 0)
+        assert value == get_modality("sound").quantize(42.42)
+
+    def test_unquantized_board_returns_raw(self):
+        raw = SensorBoard({"sound": ConstantField({1: 42.42})},
+                          quantize=False)
+        assert raw.sample("sound", 1, 0) == 42.42
+
+    def test_unquantized_board_still_clamps(self):
+        raw = SensorBoard({"sound": ConstantField({1: 412.0})},
+                          quantize=False)
+        assert raw.sample("sound", 1, 0) == 100.0
+
+    def test_unknown_channel_raises(self, board):
+        with pytest.raises(ValidationError, match="no 'light' channel"):
+            board.sample("light", 1, 0)
+
+    def test_sample_all_covers_every_channel(self, board):
+        values = board.sample_all(1, 0)
+        assert set(values) == {"sound", "temperature"}
+
+    def test_attributes_sorted(self, board):
+        assert board.attributes == ("sound", "temperature")
+
+
+class TestEnergyCharging:
+    def test_sample_charges_modality_cost(self, board):
+        charged = []
+        board.sample("sound", 1, 0, energy_sink=charged.append)
+        assert charged == [get_modality("sound").sample_cost_joules]
+
+    def test_sample_all_charges_per_channel(self, board):
+        charged = []
+        board.sample_all(1, 0, energy_sink=charged.append)
+        assert len(charged) == 2
+
+    def test_no_sink_no_error(self, board):
+        board.sample("sound", 1, 0, energy_sink=None)
+
+
+class TestConstruction:
+    def test_empty_board_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorBoard({})
+
+    def test_unknown_modality_rejected(self):
+        with pytest.raises(ValidationError):
+            SensorBoard({"humidity": ConstantField({})})
+
+    def test_modality_lookup(self, board):
+        assert board.modality("sound").name == "sound"

@@ -1,0 +1,183 @@
+"""Top-k certification and result helpers."""
+
+import pytest
+
+from repro.core.aggregates import Bounds, make_aggregate
+from repro.core.certify import certify_top_k
+from repro.core.results import (
+    RankedItem,
+    is_valid_top_k,
+    oracle_scores,
+    oracle_top_k,
+    rank_key,
+    same_answer_set,
+)
+from repro.errors import ValidationError
+
+
+def point(value):
+    return Bounds(value, value)
+
+
+class TestCertify:
+    def test_certified_when_separated(self):
+        outcome = certify_top_k(
+            {"A": point(90.0), "B": point(50.0), "C": point(10.0)}, k=1)
+        assert outcome.certified
+        assert outcome.items[0].key == "A"
+        assert not outcome.needs_probe
+
+    def test_wide_candidate_interval_blocks(self):
+        outcome = certify_top_k(
+            {"A": Bounds(40.0, 95.0), "B": point(50.0)}, k=1)
+        assert not outcome.certified
+        assert set(outcome.ambiguous) == {"A", "B"}
+
+    def test_overlapping_runner_up_blocks(self):
+        outcome = certify_top_k(
+            {"A": point(60.0), "B": Bounds(10.0, 70.0), "C": point(5.0)},
+            k=1)
+        assert not outcome.certified
+        assert "B" in outcome.ambiguous
+        assert "C" not in outcome.ambiguous
+
+    def test_ambiguous_contains_chosen(self):
+        outcome = certify_top_k(
+            {"A": point(60.0), "B": Bounds(10.0, 70.0)}, k=1)
+        assert "A" in outcome.ambiguous
+
+    def test_k_larger_than_groups(self):
+        outcome = certify_top_k({"A": point(5.0)}, k=4)
+        assert outcome.certified
+        assert len(outcome.items) == 1
+
+    def test_exact_ties_certify(self):
+        outcome = certify_top_k({"A": point(50.0), "B": point(50.0)}, k=1)
+        assert outcome.certified
+        assert outcome.items[0].key in {"A", "B"}
+
+    def test_items_ranked_descending(self):
+        outcome = certify_top_k(
+            {"A": point(10.0), "B": point(30.0), "C": point(20.0)}, k=3)
+        assert [i.key for i in outcome.items] == ["B", "C", "A"]
+
+    def test_threshold_is_kth_lb(self):
+        outcome = certify_top_k(
+            {"A": point(90.0), "B": Bounds(40.0, 60.0), "C": point(10.0)},
+            k=2)
+        assert outcome.threshold == 40.0
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            certify_top_k({}, k=1)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValidationError):
+            certify_top_k({"A": point(1.0)}, k=0)
+
+    def test_probe_set_sufficiency(self):
+        """Resolving exactly the ambiguous groups certifies the answer."""
+        import random
+
+        rng = random.Random(5)
+        for _ in range(100):
+            groups = {f"G{i}": rng.uniform(0, 100) for i in range(8)}
+            bounds = {}
+            for g, true in groups.items():
+                slackness = rng.uniform(0, 30)
+                bounds[g] = Bounds(max(0.0, true - slackness),
+                                   min(100.0, true + slackness))
+            k = rng.randint(1, 4)
+            outcome = certify_top_k(bounds, k)
+            if outcome.certified:
+                continue
+            for g in outcome.ambiguous:
+                bounds[g] = point(groups[g])
+            resolved = certify_top_k(bounds, k)
+            assert resolved.certified
+            expected = sorted(groups.items(),
+                              key=lambda kv: rank_key(kv[0], kv[1]))[:k]
+            assert [i.key for i in resolved.items] == [g for g, _ in expected]
+
+
+class TestOracle:
+    READINGS = {1: 40.0, 2: 74.0, 3: 75.0, 4: 42.0, 5: 75.0,
+                6: 75.0, 7: 78.0, 8: 75.0, 9: 39.0}
+    ROOMS = {1: "B", 2: "A", 3: "A", 4: "B", 5: "D",
+             6: "C", 7: "D", 8: "C", 9: "D"}
+
+    def test_figure1_oracle(self):
+        avg = make_aggregate("AVG", 0, 100)
+        scores = oracle_scores(self.READINGS, self.ROOMS, avg)
+        assert scores == {"A": 74.5, "B": 41.0, "C": 75.0, "D": 64.0}
+
+    def test_oracle_top_k(self):
+        avg = make_aggregate("AVG", 0, 100)
+        top2 = oracle_top_k(self.READINGS, self.ROOMS, avg, k=2)
+        assert [i.key for i in top2] == ["C", "A"]
+
+    def test_missing_group_defaults_to_nodeid(self):
+        avg = make_aggregate("AVG", 0, 100)
+        top = oracle_top_k({7: 10.0}, {}, avg, k=1)
+        assert top[0].key == 7
+
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            oracle_top_k(self.READINGS, self.ROOMS,
+                         make_aggregate("AVG", 0, 100), k=0)
+
+
+class TestValidityCheck:
+    SCORES = {"A": 90.0, "B": 80.0, "C": 80.0, "D": 10.0}
+
+    def items(self, *pairs):
+        return [RankedItem(key=k, score=s, lb=s, ub=s) for k, s in pairs]
+
+    def test_exact_answer_valid(self):
+        assert is_valid_top_k(self.items(("A", 90.0), ("B", 80.0)),
+                              self.SCORES, k=2)
+
+    def test_tie_swap_valid(self):
+        assert is_valid_top_k(self.items(("A", 90.0), ("C", 80.0)),
+                              self.SCORES, k=2)
+
+    def test_wrong_member_invalid(self):
+        assert not is_valid_top_k(self.items(("A", 90.0), ("D", 10.0)),
+                                  self.SCORES, k=2)
+
+    def test_fabricated_score_invalid(self):
+        assert not is_valid_top_k(self.items(("A", 95.0), ("B", 80.0)),
+                                  self.SCORES, k=2)
+
+    def test_wrong_order_invalid(self):
+        assert not is_valid_top_k(self.items(("B", 80.0), ("A", 90.0)),
+                                  self.SCORES, k=2)
+
+    def test_wrong_length_invalid(self):
+        assert not is_valid_top_k(self.items(("A", 90.0)), self.SCORES, k=2)
+
+    def test_k_exceeding_groups(self):
+        small = {"A": 1.0}
+        assert is_valid_top_k(self.items(("A", 1.0)), small, k=5)
+
+
+class TestSameAnswerSet:
+    def test_equal(self):
+        a = [RankedItem("A", 1.0, 1.0, 1.0)]
+        b = [RankedItem("A", 1.0, 1.0, 1.0)]
+        assert same_answer_set(a, b)
+
+    def test_different_keys(self):
+        a = [RankedItem("A", 1.0, 1.0, 1.0)]
+        b = [RankedItem("B", 1.0, 1.0, 1.0)]
+        assert not same_answer_set(a, b)
+
+    def test_score_tolerance(self):
+        a = [RankedItem("A", 1.0, 1.0, 1.0)]
+        b = [RankedItem("A", 1.0 + 1e-12, 1.0, 1.0)]
+        assert same_answer_set(a, b)
+
+    def test_order_irrelevant(self):
+        a = [RankedItem("A", 2.0, 2.0, 2.0), RankedItem("B", 1.0, 1.0, 1.0)]
+        b = list(reversed(a))
+        assert same_answer_set(a, b)

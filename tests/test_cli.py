@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_figure1(self, capsys):
+        assert main(["demo", "figure1", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "routed: mint" in out
+        assert "C=75.00" in out
+
+    def test_conference(self, capsys):
+        assert main(["demo", "conference", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "routed: mint" in out
+        assert "traffic:" in out
+
+
+class TestScenarioWorkflow:
+    def test_init_then_run(self, tmp_path, capsys):
+        path = str(tmp_path / "deployment.json")
+        assert main(["scenario-init", path]) == 0
+        assert main(["run", path,
+                     "SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
+                     "GROUP BY roomid", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "my-deployment" in out
+        assert "exact" in out
+
+    def test_run_historic_query(self, tmp_path, capsys):
+        path = str(tmp_path / "deployment.json")
+        main(["scenario-init", path])
+        assert main(["run", path,
+                     "SELECT TOP 3 epoch, AVERAGE(sound) FROM sensors "
+                     "GROUP BY epoch WITH HISTORY 10 s"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates:" in out
+
+    def test_run_with_override(self, tmp_path, capsys):
+        path = str(tmp_path / "deployment.json")
+        main(["scenario-init", path])
+        assert main(["run", path,
+                     "SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
+                     "GROUP BY roomid", "--algorithm", "tag",
+                     "--epochs", "1"]) == 0
+        assert "routed:   tag" in capsys.readouterr().out
+
+    def test_missing_scenario_is_a_clean_error(self, capsys):
+        assert main(["run", "/nonexistent.json", "SELECT sound "
+                     "FROM sensors"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_is_a_clean_error(self, tmp_path, capsys):
+        path = str(tmp_path / "deployment.json")
+        main(["scenario-init", path])
+        assert main(["run", path, "SELECT banana FROM fruit"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSavings:
+    def test_savings_table(self, capsys):
+        assert main(["savings", "--side", "4", "--rooms", "2",
+                     "--epochs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mint" in out
+        assert "MINT saves" in out
+
+
+class TestArgparse:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,56 @@
+"""COUNT queries end to end (the aggregate the bound logic treats
+specially: every reading weighs exactly one)."""
+
+import pytest
+
+from repro.core import KSpotEngine
+from repro.errors import PlanError
+from repro.query.plan import compile_query
+from repro.query.validator import Schema
+from repro.scenarios import figure1_scenario
+
+
+@pytest.fixture
+def schema():
+    return Schema.for_deployment(("sound",))
+
+
+class TestCountStar:
+    def test_grouped_count(self, schema):
+        scenario = figure1_scenario()
+        _, plan = compile_query(
+            "SELECT roomid, COUNT(*) FROM sensors GROUP BY roomid", schema)
+        engine = KSpotEngine(scenario.network, plan,
+                             group_of=scenario.group_of)
+        result = engine.run_epoch()
+        counts = {item.key: item.score for item in result.items}
+        assert counts == {"A": 2.0, "B": 2.0, "C": 2.0, "D": 3.0}
+
+    def test_topk_count_ranks_by_membership(self, schema):
+        scenario = figure1_scenario()
+        _, plan = compile_query(
+            "SELECT TOP 1 roomid, COUNT(*) FROM sensors GROUP BY roomid",
+            schema)
+        engine = KSpotEngine(scenario.network, plan,
+                             group_of=scenario.group_of)
+        result = engine.run_epoch()
+        assert result.top.key == "D"
+        assert result.top.score == 3.0
+
+    def test_count_with_static_where(self, schema):
+        scenario = figure1_scenario()
+        _, plan = compile_query(
+            "SELECT roomid, COUNT(*) FROM sensors WHERE roomid != 'D' "
+            "GROUP BY roomid", schema)
+        engine = KSpotEngine(scenario.network, plan,
+                             group_of=scenario.group_of)
+        result = engine.run_epoch()
+        assert {item.key for item in result.items} == {"A", "B", "C"}
+
+    def test_windowed_count_rejected(self, schema):
+        scenario = figure1_scenario()
+        _, plan = compile_query(
+            "SELECT TOP 1 roomid, COUNT(*) FROM sensors GROUP BY roomid "
+            "WITH HISTORY 5 s", schema)
+        with pytest.raises(PlanError, match="windowed COUNT"):
+            KSpotEngine(scenario.network, plan, group_of=scenario.group_of)

@@ -1,0 +1,17 @@
+"""Run the doctests embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+from repro import units
+from repro.network import packets
+from repro.sensing import traces
+
+
+@pytest.mark.parametrize("module", [units, packets, traces],
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,70 @@
+"""Predicate evaluation and reference analysis."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.query.eval import evaluate, references
+from repro.query.parser import parse
+
+
+def predicate_of(text):
+    return parse(f"SELECT sound FROM sensors WHERE {text}").where
+
+
+class TestReferences:
+    def test_simple(self):
+        assert references(predicate_of("sound > 5")) == {"sound"}
+
+    def test_boolean_union(self):
+        pred = predicate_of("sound > 5 AND roomid = 'A' OR nodeid = 3")
+        assert references(pred) == {"sound", "roomid", "nodeid"}
+
+    def test_not(self):
+        assert references(predicate_of("NOT epoch > 9")) == {"epoch"}
+
+    def test_none(self):
+        assert references(None) == frozenset()
+
+
+class TestEvaluate:
+    CONTEXT = {"sound": 60.0, "roomid": "A", "nodeid": 3, "epoch": 7}
+
+    def test_numeric_comparisons(self):
+        assert evaluate(predicate_of("sound > 50"), self.CONTEXT)
+        assert not evaluate(predicate_of("sound < 50"), self.CONTEXT)
+        assert evaluate(predicate_of("sound >= 60"), self.CONTEXT)
+        assert evaluate(predicate_of("sound <= 60"), self.CONTEXT)
+        assert evaluate(predicate_of("sound = 60"), self.CONTEXT)
+        assert evaluate(predicate_of("sound != 61"), self.CONTEXT)
+
+    def test_string_comparison(self):
+        assert evaluate(predicate_of("roomid = 'A'"), self.CONTEXT)
+        assert not evaluate(predicate_of("roomid = 'B'"), self.CONTEXT)
+
+    def test_bare_identifier_compares_as_string(self):
+        assert evaluate(predicate_of("roomid = A"), self.CONTEXT)
+
+    def test_and_or(self):
+        assert evaluate(predicate_of("sound > 50 AND nodeid = 3"),
+                        self.CONTEXT)
+        assert evaluate(predicate_of("sound > 90 OR nodeid = 3"),
+                        self.CONTEXT)
+        assert not evaluate(predicate_of("sound > 90 AND nodeid = 3"),
+                            self.CONTEXT)
+
+    def test_not(self):
+        assert evaluate(predicate_of("NOT sound > 90"), self.CONTEXT)
+
+    def test_none_predicate_is_true(self):
+        assert evaluate(None, {})
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(ValidationError, match="absent"):
+            evaluate(predicate_of("light > 5"), self.CONTEXT)
+
+    def test_flipped_comparison(self):
+        assert evaluate(predicate_of("50 < sound"), self.CONTEXT)
+
+    def test_numeric_string_mix_compares_as_string(self):
+        # roomid context value "A" against numeric literal: string compare.
+        assert not evaluate(predicate_of("roomid = 5"), self.CONTEXT)

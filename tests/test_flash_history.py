@@ -1,0 +1,97 @@
+"""Flash-backed history (§III-B's "on secondary memory" path)."""
+
+import pytest
+
+from repro.core import KSpotEngine
+from repro.query.plan import compile_query
+from repro.query.validator import Schema
+from repro.scenarios import grid_rooms_scenario
+from repro.storage.flash import FlashModel
+from repro.storage.microhash import MicroHashIndex
+
+
+def attach_flash_everywhere(scenario):
+    for node_id in scenario.group_of:
+        node = scenario.network.node(node_id)
+        node.attach_flash(MicroHashIndex(
+            FlashModel(page_bytes=64, pages=512), 0.0, 100.0, buckets=8))
+
+
+class TestNodeFlash:
+    def test_read_lands_on_flash_and_charges_storage(self):
+        scenario = grid_rooms_scenario(side=3, rooms_per_axis=1, seed=51)
+        attach_flash_everywhere(scenario)
+        node = scenario.network.node(1)
+        for epoch in range(20):
+            node.read("sound", epoch)
+        assert node.flash_index.entry_count == 20
+        assert node.ledger.storage > 0
+
+    def test_history_from_flash_matches_window(self):
+        scenario = grid_rooms_scenario(side=3, rooms_per_axis=1, seed=52)
+        node_plain = scenario.network.node(1)
+        scenario2 = grid_rooms_scenario(side=3, rooms_per_axis=1, seed=52)
+        attach_flash_everywhere(scenario2)
+        node_flash = scenario2.network.node(1)
+        for epoch in range(30):
+            node_plain.read("sound", epoch)
+            node_flash.read("sound", epoch)
+        plain = [(e.epoch, e.value) for e in node_plain.history(10)]
+        flash = [(e.epoch, e.value) for e in node_flash.history(10)]
+        assert plain == flash
+
+    def test_flash_outlives_the_sram_window(self):
+        """Deep history survives on flash past the window capacity."""
+        from repro.network.node import SensorNode
+        from repro.sensing.board import SensorBoard
+        from repro.sensing.generators import UniformRandomField
+
+        board = SensorBoard({"sound": UniformRandomField(0, 100, seed=3)})
+        node = SensorNode(1, board=board, window_capacity=16)
+        node.attach_flash(MicroHashIndex(
+            FlashModel(page_bytes=64, pages=512), 0.0, 100.0))
+        for epoch in range(100):
+            node.read("sound", epoch)
+        deep = node.history(64)
+        assert len(deep) == 64
+        assert deep[0].epoch == 36
+
+    def test_history_charges_read_energy(self):
+        scenario = grid_rooms_scenario(side=3, rooms_per_axis=1, seed=53)
+        attach_flash_everywhere(scenario)
+        node = scenario.network.node(1)
+        for epoch in range(40):
+            node.read("sound", epoch)
+        before = node.ledger.storage
+        node.history(32)
+        assert node.ledger.storage > before
+
+
+class TestEngineOnFlash:
+    def test_historic_vertical_from_flash(self):
+        schema = Schema.for_deployment(("sound",))
+        text = ("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+                "GROUP BY epoch WITH HISTORY 24 s EPOCH DURATION 1 s")
+
+        sram = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=54)
+        _, plan = compile_query(text, schema)
+        engine_sram = KSpotEngine(sram.network, plan,
+                                  group_of=sram.group_of)
+        engine_sram.fill_windows()
+        result_sram = engine_sram.execute_historic()
+
+        flashy = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=54)
+        attach_flash_everywhere(flashy)
+        _, plan2 = compile_query(text, schema)
+        engine_flash = KSpotEngine(flashy.network, plan2,
+                                   group_of=flashy.group_of)
+        engine_flash.fill_windows()
+        result_flash = engine_flash.execute_historic()
+
+        assert [i.key for i in result_sram.items] == \
+            [i.key for i in result_flash.items]
+        # The flash path drew storage energy the SRAM path did not.
+        flash_storage = sum(
+            flashy.network.node(n).ledger.storage
+            for n in flashy.group_of)
+        assert flash_storage > 0

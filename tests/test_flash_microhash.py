@@ -1,0 +1,150 @@
+"""Flash model and the MicroHash index."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError, StorageFullError
+from repro.storage.flash import FlashModel
+from repro.storage.microhash import MicroHashIndex
+
+
+class TestFlashModel:
+    def test_append_returns_page_numbers(self):
+        flash = FlashModel(pages=4)
+        assert flash.append_page("a") == 0
+        assert flash.append_page("b") == 1
+
+    def test_read_back(self):
+        flash = FlashModel()
+        n = flash.append_page({"k": 1})
+        assert flash.read_page(n) == {"k": 1}
+
+    def test_full_device_raises(self):
+        flash = FlashModel(pages=1)
+        flash.append_page("a")
+        with pytest.raises(StorageFullError):
+            flash.append_page("b")
+
+    def test_unwritten_page_raises(self):
+        with pytest.raises(StorageError):
+            FlashModel().read_page(0)
+
+    def test_energy_accounting(self):
+        flash = FlashModel(write_joules=2.0, read_joules=1.0)
+        flash.append_page("a")
+        flash.read_page(0)
+        assert flash.stats.joules == 3.0
+        assert flash.stats.page_writes == 1
+        assert flash.stats.page_reads == 1
+
+    def test_erase_clears_content_not_counters(self):
+        flash = FlashModel()
+        flash.append_page("a")
+        flash.erase()
+        assert len(flash) == 0
+        assert flash.stats.page_writes == 1
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlashModel(page_bytes=0)
+
+
+@pytest.fixture
+def index():
+    flash = FlashModel(page_bytes=64)  # 8 entries per page
+    idx = MicroHashIndex(flash, lo=0.0, hi=100.0, buckets=10)
+    rng = random.Random(9)
+    values = [round(rng.uniform(0, 100), 1) for _ in range(100)]
+    for t, v in enumerate(values):
+        idx.insert(t, v)
+    return idx, values
+
+
+class TestMicroHashInsert:
+    def test_entry_count(self, index):
+        idx, values = index
+        assert idx.entry_count == len(values)
+
+    def test_pages_flushed_when_full(self, index):
+        idx, values = index
+        assert len(idx.flash) == len(values) // 8
+
+    def test_out_of_order_rejected(self, index):
+        idx, _ = index
+        with pytest.raises(StorageError):
+            idx.insert(0, 5.0)
+
+    def test_out_of_range_value_rejected(self):
+        idx = MicroHashIndex(FlashModel(), 0, 10)
+        with pytest.raises(StorageError):
+            idx.insert(0, 11.0)
+
+    def test_bucket_of_endpoints(self):
+        idx = MicroHashIndex(FlashModel(), 0, 100, buckets=10)
+        assert idx.bucket_of(0.0) == 0
+        assert idx.bucket_of(100.0) == 9
+        assert idx.bucket_of(55.0) == 5
+
+
+class TestMicroHashQueries:
+    def test_value_range_complete_and_exact(self, index):
+        idx, values = index
+        hits = idx.value_range(40.0, 60.0)
+        expected = sorted((t, v) for t, v in enumerate(values)
+                          if 40.0 <= v <= 60.0)
+        assert [(e.epoch, e.value) for e in hits] == expected
+
+    def test_value_range_includes_pending(self):
+        idx = MicroHashIndex(FlashModel(page_bytes=64), 0, 100)
+        idx.insert(0, 50.0)  # stays pending (page not full)
+        assert [(e.epoch, e.value) for e in idx.value_range(0, 100)] == [(0, 50.0)]
+
+    def test_epoch_range(self, index):
+        idx, values = index
+        hits = idx.epoch_range(10, 19)
+        assert [e.epoch for e in hits] == list(range(10, 20))
+        assert [e.value for e in hits] == values[10:20]
+
+    def test_empty_ranges(self, index):
+        idx, _ = index
+        assert idx.value_range(60.0, 40.0) == []
+        assert idx.epoch_range(5, 4) == []
+
+    def test_top_k_matches_full_scan(self, index):
+        idx, values = index
+        expected = sorted(enumerate(values),
+                          key=lambda kv: (-kv[1], kv[0]))[:7]
+        got = [(e.epoch, e.value) for e in idx.top_k(7)]
+        assert got == expected
+
+    def test_top_k_reads_fewer_pages_than_scan(self):
+        flash = FlashModel(page_bytes=64)
+        idx = MicroHashIndex(flash, 0, 100, buckets=20)
+        # Values rise over time: the top bucket covers few pages.
+        for t in range(400):
+            idx.insert(t, t % 101)
+        flash.stats.page_reads = 0
+        idx.top_k(3)
+        assert flash.stats.page_reads < len(flash)
+
+    def test_top_k_zero(self, index):
+        idx, _ = index
+        assert idx.top_k(0) == []
+
+    def test_flush_idempotent(self, index):
+        idx, _ = index
+        pages = len(idx.flash)
+        idx.flush()
+        idx.flush()
+        assert len(idx.flash) == pages + (1 if idx.entry_count % 8 else 0)
+
+
+class TestMicroHashConstruction:
+    def test_bad_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroHashIndex(FlashModel(), 5, 5)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroHashIndex(FlashModel(), 0, 1, buckets=0)

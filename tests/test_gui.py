@@ -1,0 +1,234 @@
+"""GUI substitution: panels, rendering, system panel, scenario files."""
+
+import pytest
+
+from repro.core.results import EpochResult, RankedItem
+from repro.errors import ConfigurationError, ScenarioError, ValidationError
+from repro.gui import (
+    ConfigurationPanel,
+    DisplayPanel,
+    KSpotBullet,
+    QueryPanel,
+    ScenarioConfig,
+    SystemPanel,
+    load_scenario,
+    render_display,
+    render_savings,
+    render_table,
+    save_scenario,
+)
+from repro.network.stats import NetworkStats
+
+
+def result_with(*pairs):
+    items = tuple(RankedItem(key=k, score=s, lb=s, ub=s) for k, s in pairs)
+    return EpochResult(epoch=0, items=items, exact=True, algorithm="mint")
+
+
+class TestConfigurationPanel:
+    def test_assign_and_clusters(self):
+        panel = ConfigurationPanel()
+        panel.assign(1, "Auditorium")
+        panel.assign(2, "Auditorium")
+        panel.assign(3, "Lobby")
+        assert panel.clusters() == {"Auditorium": (1, 2), "Lobby": (3,)}
+
+    def test_remove(self):
+        panel = ConfigurationPanel({1: "A"})
+        panel.remove(1)
+        assert panel.clusters() == {}
+
+    def test_validate_against_deployment(self):
+        panel = ConfigurationPanel({1: "A", 99: "B"})
+        with pytest.raises(ConfigurationError, match="99"):
+            panel.validate_against([1, 2, 3])
+
+
+class TestQueryPanel:
+    def test_manual_entry_echoes_canonical_text(self):
+        panel = QueryPanel()
+        panel.set_text("select top 1 roomid, average(sound) from sensors "
+                       "group by roomid")
+        assert panel.text == ("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+                              "GROUP BY roomid")
+
+    def test_graphical_construction(self):
+        panel = QueryPanel()
+        query = panel.build(k=3, aggregate="avg", attribute="sound",
+                            group_by="roomid", epoch_duration="1 min")
+        assert query.top_k == 3
+        assert query.epoch.seconds == 60.0
+
+    def test_build_without_group(self):
+        panel = QueryPanel()
+        query = panel.build(k=None, aggregate="max", attribute="light",
+                            group_by=None)
+        assert not query.is_top_k
+        assert query.group_by is None
+
+
+class TestDisplayPanel:
+    def make_panel(self):
+        panel = DisplayPanel(width=100, height=50)
+        panel.cluster_of.update({1: "A", 2: "A", 3: "B"})
+        panel.place(1, 10, 10)
+        panel.place(2, 30, 10)
+        panel.place(3, 80, 40)
+        return panel
+
+    def test_place_outside_map_rejected(self):
+        panel = DisplayPanel(width=10, height=10)
+        with pytest.raises(ValidationError):
+            panel.place(1, 20, 5)
+
+    def test_cluster_members_and_centroid(self):
+        panel = self.make_panel()
+        assert panel.cluster_members("A") == (1, 2)
+        assert panel.cluster_centroid("A") == (20.0, 10.0)
+
+    def test_centroid_of_unplaced_cluster_raises(self):
+        panel = DisplayPanel(width=10, height=10)
+        panel.cluster_of[1] = "A"
+        with pytest.raises(ValidationError):
+            panel.cluster_centroid("A")
+
+    def test_update_ranking_produces_bullets(self):
+        panel = self.make_panel()
+        bullets = panel.update_ranking(result_with(("A", 80.0), ("B", 60.0)))
+        assert bullets == (KSpotBullet(1, "A", 80.0),
+                           KSpotBullet(2, "B", 60.0))
+        assert bullets[0].label == "(1)"
+
+
+class TestRenderers:
+    def test_display_renders_sensors_and_bullets(self):
+        panel = DisplayPanel(width=100, height=50)
+        panel.cluster_of.update({1: "A", 2: "A"})
+        panel.place(0, 50, 25)
+        panel.place(1, 10, 10)
+        panel.place(2, 30, 10)
+        panel.update_ranking(result_with(("A", 80.0)))
+        art = render_display(panel, columns=60, rows=12)
+        assert "S0" in art
+        assert "s1" in art
+        assert "(1)" in art
+        assert "A: 80.00" in art
+
+    def test_display_canvas_too_small(self):
+        panel = DisplayPanel(width=10, height=10)
+        with pytest.raises(ValidationError):
+            render_display(panel, columns=5, rows=2)
+
+    def test_render_table_alignment(self):
+        table = render_table(["k", "mint", "tag"],
+                             [[1, 10.5, 20.0], [2, 11.25, 20.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["k", "mint", "tag"]
+        assert "10.50" in lines[2]
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ValidationError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_savings_chart(self):
+        stats_a, stats_b = NetworkStats(), NetworkStats()
+        panel = SystemPanel(stats_a, stats_b)
+        stats_a.record("x", 1, 50, 57, 0.0, 0.0)
+        stats_b.record("x", 1, 100, 107, 0.0, 0.0)
+        panel.sample()
+        chart = render_savings(panel.samples, metric="bytes")
+        assert "50.0%" in chart
+
+    def test_render_savings_unknown_metric(self):
+        with pytest.raises(ValidationError):
+            render_savings([], metric="latency")
+
+
+class TestSystemPanel:
+    def test_savings_math(self):
+        system, baseline = NetworkStats(), NetworkStats()
+        panel = SystemPanel(system, baseline)
+        system.record("x", 1, 30, 37, 1e-3, 1e-3)
+        baseline.record("x", 1, 120, 127, 4e-3, 4e-3)
+        sample = panel.sample()
+        assert sample.byte_saving_pct == pytest.approx(75.0)
+        assert sample.energy_saving_pct == pytest.approx(75.0)
+
+    def test_zero_baseline_is_zero_saving(self):
+        panel = SystemPanel(NetworkStats(), NetworkStats())
+        sample = panel.sample()
+        assert sample.byte_saving_pct == 0.0
+
+    def test_cumulative(self):
+        system, baseline = NetworkStats(), NetworkStats()
+        panel = SystemPanel(system, baseline)
+        for _ in range(3):
+            system.record("x", 1, 10, 17, 0.0, 0.0)
+            baseline.record("x", 1, 40, 47, 0.0, 0.0)
+            panel.sample()
+        assert panel.cumulative.payload_bytes == 30
+        assert panel.cumulative.byte_saving_pct == pytest.approx(75.0)
+
+    def test_cumulative_before_sampling_raises(self):
+        panel = SystemPanel(NetworkStats(), NetworkStats())
+        with pytest.raises(ValidationError):
+            panel.cumulative
+
+
+class TestScenarioFiles:
+    def make_config(self):
+        return ScenarioConfig(
+            name="conference",
+            map_width=100.0,
+            map_height=60.0,
+            radio_range=60.0,
+            sink_position=(50.0, 30.0),
+            positions={1: (10.0, 10.0), 2: (20.0, 10.0), 3: (80.0, 50.0)},
+            cluster_of={1: "Auditorium", 2: "Auditorium", 3: "Lobby"},
+        )
+
+    def test_round_trip(self, tmp_path):
+        config = self.make_config()
+        path = tmp_path / "scenario.json"
+        save_scenario(config, path)
+        loaded = load_scenario(path)
+        assert loaded == config
+
+    def test_sensor_outside_map_rejected(self):
+        config = self.make_config()
+        config.positions[4] = (500.0, 0.0)
+        with pytest.raises(ScenarioError, match="outside the map"):
+            config.validate()
+
+    def test_reserved_sink_id_rejected(self):
+        config = self.make_config()
+        config.positions[0] = (1.0, 1.0)
+        with pytest.raises(ScenarioError, match="reserved"):
+            config.validate()
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioError):
+            load_scenario(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ScenarioError, match="version"):
+            load_scenario(path)
+
+    def test_deploy_builds_network(self):
+        from repro.sensing.generators import ConstantField
+
+        config = self.make_config()
+        network = config.deploy(ConstantField({1: 10.0, 2: 20.0, 3: 30.0}))
+        assert set(network.tree.sensor_ids) == {1, 2, 3}
+        assert network.node(1).group == "Auditorium"
+        assert network.node(3).read("sound", 0) == pytest.approx(30.0, abs=0.1)
+
+    def test_panels_prepopulated(self):
+        configuration, display = self.make_config().panels()
+        assert configuration.clusters()["Auditorium"] == (1, 2)
+        assert 0 in display.positions

@@ -1,0 +1,74 @@
+"""Network-lifetime simulation."""
+
+import pytest
+
+from repro.core import Mint, MintConfig, Tag
+from repro.core.aggregates import make_aggregate
+from repro.errors import ConfigurationError
+from repro.network.lifetime import simulate_lifetime
+from repro.scenarios import grid_rooms_scenario
+
+
+def deploy(seed=61):
+    scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=seed)
+    aggregate = make_aggregate("AVG", 0, 100)
+    return scenario, aggregate
+
+
+class TestSimulatedDeath:
+    def test_small_battery_dies_within_budget(self):
+        scenario, aggregate = deploy()
+        tag = Tag(scenario.network, aggregate, 1, scenario.group_of)
+        report = simulate_lifetime(tag, scenario.network,
+                                   battery_joules=0.05, max_epochs=500)
+        assert not report.extrapolated
+        assert report.epochs <= 500
+        assert report.first_dead in scenario.network.tree.sensor_ids
+
+    def test_bottleneck_is_a_sink_neighbour(self):
+        scenario, aggregate = deploy()
+        tag = Tag(scenario.network, aggregate, 1, scenario.group_of)
+        sink_children = set(scenario.network.tree.children(
+            scenario.network.sink_id))
+        report = simulate_lifetime(tag, scenario.network,
+                                   battery_joules=0.05, max_epochs=500)
+        assert report.first_dead in sink_children
+
+
+class TestExtrapolation:
+    def test_large_battery_extrapolates(self):
+        scenario, aggregate = deploy()
+        tag = Tag(scenario.network, aggregate, 1, scenario.group_of)
+        report = simulate_lifetime(tag, scenario.network,
+                                   battery_joules=1e6, max_epochs=20)
+        assert report.extrapolated
+        assert report.epochs > 20
+        assert report.burn_rates[report.first_dead] == \
+            max(report.burn_rates.values())
+
+    def test_mint_outlives_tag(self):
+        a, aggregate = deploy()
+        b, _ = deploy()
+        mint = Mint(a.network, aggregate, 1, a.group_of,
+                    config=MintConfig(slack=1))
+        tag = Tag(b.network, aggregate, 1, b.group_of)
+        mint_report = simulate_lifetime(mint, a.network,
+                                        battery_joules=1e6, max_epochs=30)
+        tag_report = simulate_lifetime(tag, b.network,
+                                       battery_joules=1e6, max_epochs=30)
+        assert mint_report.epochs >= tag_report.epochs
+
+
+class TestValidation:
+    def test_bad_battery_rejected(self):
+        scenario, aggregate = deploy()
+        tag = Tag(scenario.network, aggregate, 1, scenario.group_of)
+        with pytest.raises(ConfigurationError):
+            simulate_lifetime(tag, scenario.network, battery_joules=0)
+
+    def test_budget_must_exceed_warmup(self):
+        scenario, aggregate = deploy()
+        tag = Tag(scenario.network, aggregate, 1, scenario.group_of)
+        with pytest.raises(ConfigurationError):
+            simulate_lifetime(tag, scenario.network, battery_joules=1e6,
+                              max_epochs=3, warmup_epochs=5)

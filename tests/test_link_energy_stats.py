@@ -1,0 +1,144 @@
+"""Radio link model, energy model, statistics ledger."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.energy import EnergyLedger, EnergyModel, lifetime_epochs
+from repro.network.link import RadioModel
+from repro.network.stats import NetworkStats
+
+
+class TestRadioModel:
+    def test_mica2_defaults(self):
+        radio = RadioModel()
+        assert radio.bitrate_bps == 38_400.0
+        assert radio.range_m == 150.0
+
+    def test_airtime(self):
+        radio = RadioModel(bitrate_bps=38_400)
+        assert radio.airtime_seconds(48) == pytest.approx(48 * 8 / 38_400)
+
+    def test_lossless_is_one_attempt(self):
+        assert RadioModel().attempts_needed(random.Random(0)) == 1
+
+    def test_lossy_retries_eventually_succeed(self):
+        radio = RadioModel(loss_probability=0.5, max_retries=50)
+        rng = random.Random(1)
+        attempts = [radio.attempts_needed(rng) for _ in range(200)]
+        assert min(attempts) == 1
+        assert max(attempts) > 1
+
+    def test_exhausted_retries_raise(self):
+        radio = RadioModel(loss_probability=0.999, max_retries=1)
+        rng = random.Random(2)
+        with pytest.raises(RoutingError):
+            for _ in range(100):
+                radio.attempts_needed(rng)
+
+    def test_bad_loss_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel(loss_probability=1.0)
+
+    def test_bad_bitrate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel(bitrate_bps=0)
+
+
+class TestEnergyModel:
+    def test_tx_costs_more_than_rx(self):
+        model = EnergyModel()
+        assert model.tx_joules_per_byte > model.rx_joules_per_byte
+
+    def test_mica2_tx_magnitude(self):
+        # 27 mA @ 3 V @ 38.4 kbit/s ≈ 16.9 µJ per byte.
+        model = EnergyModel()
+        assert model.tx_joules_per_byte == pytest.approx(16.875e-6, rel=1e-3)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(voltage=0)
+
+    def test_lifetime_bottleneck(self):
+        model = EnergyModel(battery_joules=100.0)
+        assert lifetime_epochs(model, per_epoch_joules=1.0) == 100.0
+
+    def test_lifetime_infinite_at_zero_burn(self):
+        assert lifetime_epochs(EnergyModel(), 0.0) == float("inf")
+
+
+class TestEnergyLedger:
+    def test_total_sums_all_activities(self):
+        ledger = EnergyLedger()
+        ledger.charge_tx(1.0)
+        ledger.charge_rx(2.0)
+        ledger.charge_sensing(3.0)
+        ledger.charge_idle(4.0)
+        ledger.charge_storage(5.0)
+        assert ledger.total == 15.0
+
+    def test_copy_is_independent(self):
+        ledger = EnergyLedger(tx=1.0)
+        snapshot = ledger.copy()
+        ledger.charge_tx(1.0)
+        assert snapshot.tx == 1.0
+        assert ledger.tx == 2.0
+
+
+class TestNetworkStats:
+    def test_record_accumulates(self):
+        stats = NetworkStats()
+        stats.record("view_update", packets=2, payload_bytes=40,
+                     air_bytes=54, tx_joules=1e-3, rx_joules=5e-4)
+        stats.record("query", packets=1, payload_bytes=16,
+                     air_bytes=23, tx_joules=1e-4, rx_joules=1e-4)
+        assert stats.messages == 2
+        assert stats.packets == 3
+        assert stats.payload_bytes == 56
+        assert stats.by_kind == {"view_update": 1, "query": 1}
+        assert stats.bytes_by_kind["view_update"] == 40
+
+    def test_radio_joules(self):
+        stats = NetworkStats()
+        stats.record("x", 1, 1, 1, tx_joules=2.0, rx_joules=3.0)
+        assert stats.radio_joules == 5.0
+
+    def test_snapshot_minus(self):
+        stats = NetworkStats()
+        stats.record("x", 1, 10, 17, 0.0, 0.0)
+        first = stats.snapshot()
+        stats.record("x", 1, 30, 37, 0.0, 0.0)
+        delta = stats.snapshot().minus(first)
+        assert delta.messages == 1
+        assert delta.payload_bytes == 30
+
+    def test_phase_attribution(self):
+        stats = NetworkStats()
+        with stats.phase("LB"):
+            stats.record("lb_reply", 1, 12, 19, 0.0, 0.0)
+        with stats.phase("HJ"):
+            stats.record("join_reply", 1, 30, 37, 0.0, 0.0)
+        assert stats.by_phase["LB"].payload_bytes == 12
+        assert stats.by_phase["HJ"].payload_bytes == 30
+
+    def test_phase_reentry_accumulates(self):
+        stats = NetworkStats()
+        for _ in range(2):
+            with stats.phase("update"):
+                stats.record("view_update", 1, 10, 17, 0.0, 0.0)
+        assert stats.by_phase["update"].messages == 2
+
+    def test_nested_phases_both_credited(self):
+        stats = NetworkStats()
+        with stats.phase("outer"):
+            with stats.phase("inner"):
+                stats.record("x", 1, 5, 12, 0.0, 0.0)
+        assert stats.by_phase["inner"].payload_bytes == 5
+        assert stats.by_phase["outer"].payload_bytes == 5
+
+    def test_drop_counter(self):
+        stats = NetworkStats()
+        stats.record_drop()
+        assert stats.drops == 1
+        assert stats.summary()["drops"] == 1

@@ -1,0 +1,68 @@
+"""MTS310 modality catalogue."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sensing.modalities import MODALITIES, Modality, get_modality
+
+
+class TestCatalogue:
+    def test_paper_modalities_present(self):
+        # §IV-A: accelerometer, magnetometer, light, temperature, acoustic.
+        for name in ("sound", "temperature", "light", "accel_x", "mag_x"):
+            assert name in MODALITIES
+
+    def test_sound_is_a_percentage(self):
+        sound = get_modality("sound")
+        assert (sound.lo, sound.hi) == (0.0, 100.0)
+
+    def test_lookup_unknown_raises_with_hint(self):
+        with pytest.raises(ValidationError, match="MTS310 provides"):
+            get_modality("humidity")
+
+    def test_span(self):
+        assert get_modality("sound").span == 100.0
+
+
+class TestClampAndQuantize:
+    def test_clamp_inside_range_is_identity(self):
+        assert get_modality("sound").clamp(55.5) == 55.5
+
+    def test_clamp_below(self):
+        assert get_modality("sound").clamp(-3.0) == 0.0
+
+    def test_clamp_above(self):
+        assert get_modality("sound").clamp(150.0) == 100.0
+
+    def test_quantize_endpoints_exact(self):
+        sound = get_modality("sound")
+        assert sound.quantize(0.0) == 0.0
+        assert sound.quantize(100.0) == 100.0
+
+    def test_quantize_step_matches_adc_bits(self):
+        sound = get_modality("sound")
+        step = sound.span / ((1 << sound.adc_bits) - 1)
+        quantized = sound.quantize(42.42)
+        assert abs(quantized - 42.42) <= step / 2
+
+    def test_quantize_is_idempotent(self):
+        sound = get_modality("sound")
+        once = sound.quantize(73.19)
+        assert sound.quantize(once) == once
+
+    def test_quantize_clamps_first(self):
+        assert get_modality("sound").quantize(250.0) == 100.0
+
+
+class TestValidation:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Modality("bad", "x", 10.0, 5.0)
+
+    def test_nonpositive_adc_rejected(self):
+        with pytest.raises(ValidationError):
+            Modality("bad", "x", 0.0, 1.0, adc_bits=0)
+
+    def test_negative_sample_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            Modality("bad", "x", 0.0, 1.0, sample_cost_joules=-1.0)

@@ -1,0 +1,134 @@
+"""Wire format: fragmentation and message sizes."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.messages import (
+    CandidateSetMessage,
+    ControlMessage,
+    FilterReportMessage,
+    FilterUpdateMessage,
+    JoinReplyMessage,
+    LBReplyMessage,
+    ObjectScore,
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    QueryMessage,
+    RawReadingsMessage,
+    Reading,
+    ScoreListMessage,
+    ViewEntry,
+    ViewUpdateMessage,
+    total_entries,
+)
+from repro.network.packets import HEADER_BYTES, PAYLOAD_MTU, fragment
+
+
+class TestFragmentation:
+    def test_single_packet_at_mtu(self):
+        assert fragment(PAYLOAD_MTU).packets == 1
+
+    def test_two_packets_above_mtu(self):
+        assert fragment(PAYLOAD_MTU + 1).packets == 2
+
+    def test_zero_payload_still_one_frame(self):
+        cost = fragment(0)
+        assert cost.packets == 1
+        assert cost.air_bytes == HEADER_BYTES
+
+    def test_air_bytes_include_per_packet_header(self):
+        cost = fragment(60)
+        assert cost.packets == 3
+        assert cost.air_bytes == 60 + 3 * HEADER_BYTES
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            fragment(-1)
+
+    def test_bad_mtu_rejected(self):
+        with pytest.raises(ValidationError):
+            fragment(10, mtu=0)
+
+
+class TestMessageSizes:
+    def test_view_entry_wire_size(self):
+        assert ViewEntry.WIRE_BYTES == 8
+
+    def test_view_update_scales_with_entries(self):
+        base = ViewUpdateMessage(epoch=0, entries=())
+        one = ViewUpdateMessage(epoch=0, entries=(ViewEntry("A", 1.0, 1),))
+        assert one.payload_bytes - base.payload_bytes == ViewEntry.WIRE_BYTES
+
+    def test_view_update_gamma_costs_four_bytes(self):
+        without = ViewUpdateMessage(epoch=0, entries=())
+        with_gamma = ViewUpdateMessage(epoch=0, entries=(), gamma=5.0)
+        assert with_gamma.payload_bytes - without.payload_bytes == 4
+
+    def test_view_update_retractions_cost_two_bytes_each(self):
+        without = ViewUpdateMessage(epoch=0, entries=())
+        with_two = ViewUpdateMessage(epoch=0, entries=(),
+                                     retractions=("A", "B"))
+        assert with_two.payload_bytes - without.payload_bytes == 4
+
+    def test_raw_readings_size(self):
+        msg = RawReadingsMessage(epoch=0, readings=(
+            Reading(1, 5.0), Reading(2, 6.0)))
+        assert msg.payload_bytes == 4 + 2 * Reading.WIRE_BYTES
+
+    def test_probe_request_size(self):
+        msg = ProbeRequestMessage(epoch=0, groups=("A", "B", "C"))
+        assert msg.payload_bytes == 4 + 3 * 2
+
+    def test_probe_reply_matches_view_entries(self):
+        msg = ProbeReplyMessage(epoch=0, entries=(ViewEntry("A", 1.0, 1),))
+        assert msg.payload_bytes == 4 + 8
+
+    def test_lb_reply_is_ids_only(self):
+        msg = LBReplyMessage(object_ids=(1, 2, 3))
+        assert msg.payload_bytes == 12
+
+    def test_candidate_set_size(self):
+        assert CandidateSetMessage(object_ids=(7,)).payload_bytes == 4
+
+    def test_join_reply_carries_threshold(self):
+        empty = JoinReplyMessage(items=(), threshold_value=1.0,
+                                 threshold_count=2)
+        assert empty.payload_bytes == 6
+        one = JoinReplyMessage(items=(ObjectScore(1, 2.0, 3),),
+                               threshold_value=1.0, threshold_count=2)
+        assert one.payload_bytes == 6 + ObjectScore.WIRE_BYTES
+
+    def test_score_list_omits_count(self):
+        msg = ScoreListMessage(items=(ObjectScore(1, 2.0),))
+        assert msg.payload_bytes == 8
+
+    def test_filter_update_size(self):
+        msg = FilterUpdateMessage(intervals=((1, 0.0, 10.0),))
+        assert msg.payload_bytes == 2 + 8
+
+    def test_filter_report_size(self):
+        msg = FilterReportMessage(epoch=0,
+                                  entries=(ViewEntry(1, 5.0, 1),))
+        assert msg.payload_bytes == 4 + 8
+
+    def test_query_message_fixed(self):
+        assert QueryMessage(query_id=1).payload_bytes == 16
+
+    def test_control_message_configurable(self):
+        assert ControlMessage(label="x", size=12).payload_bytes == 12
+
+
+class TestHelpers:
+    def test_total_entries_counts_tuples(self):
+        messages = [
+            ViewUpdateMessage(epoch=0, entries=(ViewEntry("A", 1.0, 1),)),
+            JoinReplyMessage(items=(ObjectScore(1, 2.0), ObjectScore(2, 3.0)),
+                             threshold_value=0.0, threshold_count=0),
+            QueryMessage(query_id=1),
+        ]
+        assert total_entries(messages) == 3
+
+    def test_kind_labels(self):
+        assert ViewUpdateMessage(epoch=0, entries=()).kind == "view_update"
+        assert QueryMessage(query_id=1).kind == "query"
+        assert LBReplyMessage(object_ids=()).kind == "lb_reply"

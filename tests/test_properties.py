@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the claims the whole system leans on: the partial-aggregate
+algebra is a commutative monoid, the bound logic is sound under
+arbitrary partitions of the readings, certification never lies, MINT
+and TJA always equal the centralized oracle, and the storage structures
+agree with brute force.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import make_aggregate
+from repro.core.certify import certify_top_k
+from repro.core.aggregates import Bounds
+from repro.core.results import is_valid_top_k, oracle_scores, rank_key
+from repro.query.parser import parse
+
+values = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+funcs = st.sampled_from(["AVG", "SUM", "MIN", "MAX"])
+
+
+class TestAggregateAlgebra:
+    @given(funcs, values, values, values)
+    def test_merge_associative(self, func, a, b, c):
+        agg = make_aggregate(func, 0, 100)
+        pa, pb, pc = (agg.from_value(v) for v in (a, b, c))
+        left = agg.merge(agg.merge(pa, pb), pc)
+        right = agg.merge(pa, agg.merge(pb, pc))
+        assert math.isclose(agg.finalize(left), agg.finalize(right),
+                            rel_tol=1e-12, abs_tol=1e-12)
+        assert left.count == right.count
+
+    @given(funcs, values, values)
+    def test_merge_commutative(self, func, a, b):
+        agg = make_aggregate(func, 0, 100)
+        pa, pb = agg.from_value(a), agg.from_value(b)
+        assert math.isclose(agg.finalize(agg.merge(pa, pb)),
+                            agg.finalize(agg.merge(pb, pa)),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(funcs, st.lists(values, min_size=1, max_size=20))
+    def test_merge_order_irrelevant(self, func, readings):
+        agg = make_aggregate(func, 0, 100)
+        forward = agg.merge_many([agg.from_value(v) for v in readings])
+        backward = agg.merge_many(
+            [agg.from_value(v) for v in reversed(readings)])
+        assert math.isclose(agg.finalize(forward), agg.finalize(backward),
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestBoundSoundness:
+    @given(funcs,
+           st.lists(values, min_size=1, max_size=16),
+           st.data())
+    def test_true_value_within_bounds(self, func, readings, data):
+        """Partition readings into seen / pruned-partials arbitrarily;
+        the certified interval must contain the true aggregate."""
+        agg = make_aggregate(func, 0, 100)
+        flags = data.draw(st.lists(st.booleans(),
+                                   min_size=len(readings),
+                                   max_size=len(readings)))
+        seen_values = [v for v, seen in zip(readings, flags) if seen]
+        unseen_values = [v for v, seen in zip(readings, flags) if not seen]
+        if unseen_values:
+            # Split the unseen mass into contiguous pruned partials.
+            cut = data.draw(st.integers(0, len(unseen_values) - 1))
+            parts = [unseen_values[:cut], unseen_values[cut:]]
+            parts = [p for p in parts if p]
+            gamma = max(
+                agg.finalize(agg.merge_many([agg.from_value(v) for v in p]))
+                for p in parts
+            )
+        else:
+            gamma = None
+        seen = agg.merge_many([agg.from_value(v) for v in seen_values])
+        true = agg.finalize(agg.merge_many(
+            [agg.from_value(v) for v in readings]))
+        bounds = agg.bounds(seen, len(unseen_values), gamma)
+        assert bounds.lb - 1e-9 <= true <= bounds.ub + 1e-9
+
+
+class TestCertification:
+    @given(st.dictionaries(st.integers(0, 12), values, min_size=1,
+                           max_size=13),
+           st.integers(1, 5), st.data())
+    def test_certified_answers_are_correct(self, truth, k, data):
+        """Wrap every true score in a random interval; whenever the
+        procedure certifies, the answer must be a valid top-k."""
+        bounds = {}
+        for key, score in truth.items():
+            slack_lo = data.draw(st.floats(0, 30))
+            slack_hi = data.draw(st.floats(0, 30))
+            exact = data.draw(st.booleans())
+            if exact:
+                bounds[key] = Bounds(score, score)
+            else:
+                bounds[key] = Bounds(max(0.0, score - slack_lo),
+                                     min(100.0, score + slack_hi))
+        outcome = certify_top_k(bounds, k)
+        if outcome.certified:
+            assert is_valid_top_k(outcome.items, truth, k, tolerance=1e-6)
+
+    @given(st.dictionaries(st.integers(0, 12), values, min_size=1,
+                           max_size=13),
+           st.integers(1, 5), st.data())
+    def test_probing_ambiguous_always_certifies(self, truth, k, data):
+        bounds = {}
+        for key, score in truth.items():
+            slack = data.draw(st.floats(0, 40))
+            bounds[key] = Bounds(max(0.0, score - slack),
+                                 min(100.0, score + slack))
+        outcome = certify_top_k(bounds, k)
+        if not outcome.certified:
+            for key in outcome.ambiguous:
+                bounds[key] = Bounds(truth[key], truth[key])
+            outcome = certify_top_k(bounds, k)
+            assert outcome.certified
+            assert is_valid_top_k(outcome.items, truth, k, tolerance=1e-6)
+
+
+class TestOracleProperties:
+    @given(st.dictionaries(st.integers(1, 30), values, min_size=1,
+                           max_size=30),
+           st.integers(1, 6))
+    def test_oracle_scores_rank_consistently(self, readings, k):
+        agg = make_aggregate("AVG", 0, 100)
+        group_of = {n: n % 4 for n in readings}
+        scores = oracle_scores(readings, group_of, agg)
+        ranked = sorted(scores.items(), key=lambda kv: rank_key(kv[0], kv[1]))
+        for (_, a), (_, b) in zip(ranked, ranked[1:]):
+            assert a >= b
+
+
+class TestStorageAgreement:
+    @given(st.lists(values, min_size=1, max_size=120), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_microhash_top_k_equals_brute_force(self, readings, k):
+        from repro.storage.flash import FlashModel
+        from repro.storage.microhash import MicroHashIndex
+
+        index = MicroHashIndex(FlashModel(page_bytes=64, pages=64),
+                               0.0, 100.0, buckets=8)
+        for t, v in enumerate(readings):
+            index.insert(t, v)
+        expected = sorted(enumerate(readings),
+                          key=lambda kv: (-kv[1], kv[0]))[:k]
+        got = [(e.epoch, e.value) for e in index.top_k(k)]
+        assert got == expected
+
+    @given(st.lists(values, min_size=1, max_size=120),
+           st.tuples(values, values))
+    @settings(max_examples=40, deadline=None)
+    def test_microhash_range_equals_brute_force(self, readings, window):
+        from repro.storage.flash import FlashModel
+        from repro.storage.microhash import MicroHashIndex
+
+        lo, hi = min(window), max(window)
+        index = MicroHashIndex(FlashModel(page_bytes=64, pages=64),
+                               0.0, 100.0, buckets=8)
+        for t, v in enumerate(readings):
+            index.insert(t, v)
+        expected = [(t, v) for t, v in enumerate(readings) if lo <= v <= hi]
+        got = [(e.epoch, e.value) for e in index.value_range(lo, hi)]
+        assert got == expected
+
+    @given(st.lists(values, min_size=1, max_size=60), st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_window_aggregate_equals_brute_force(self, readings, n):
+        from repro.storage.window import SlidingWindow
+
+        window = SlidingWindow(capacity=128)
+        for t, v in enumerate(readings):
+            window.append(t, v)
+        tail = readings[-n:] if n < len(readings) else readings
+        assert math.isclose(window.aggregate("avg", last_n=n),
+                            sum(tail) / len(tail), rel_tol=1e-12)
+
+
+class TestParserProperties:
+    aggregate_names = st.sampled_from(["AVG", "MIN", "MAX", "SUM"])
+    identifiers = st.sampled_from(["sound", "temperature", "light"])
+
+    @given(st.integers(1, 99), aggregate_names, identifiers,
+           st.sampled_from(["roomid", "epoch", None]),
+           st.sampled_from([None, (30, "s"), (1, "min"), (2, "h")]))
+    def test_generated_queries_round_trip(self, k, func, attr, group, epoch):
+        text = f"SELECT TOP {k} "
+        if group:
+            text += f"{group}, "
+        text += f"{func}({attr}) FROM sensors"
+        if group:
+            text += f" GROUP BY {group}"
+        if group == "epoch":
+            text += " WITH HISTORY 5 min"
+        if epoch:
+            text += f" EPOCH DURATION {epoch[0]} {epoch[1]}"
+        query = parse(text)
+        assert parse(query.unparse()) == query
+
+
+class TestEndToEndExactness:
+    @given(st.integers(0, 1_000_000), st.integers(1, 4),
+           st.integers(2, 4), st.integers(2, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_mint_equals_oracle_on_random_deployments(self, seed, k, rooms,
+                                                      per_room):
+        from repro.core import Mint
+        from repro.scenarios import random_rooms_scenario
+        from repro.sensing.modalities import get_modality
+
+        scenario = random_rooms_scenario(rooms=rooms,
+                                         sensors_per_room=per_room,
+                                         seed=seed % 10_000)
+        agg = make_aggregate("AVG", 0, 100)
+        mint = Mint(scenario.network, agg, k, scenario.group_of)
+        modality = get_modality("sound")
+        for epoch in range(4):
+            result = mint.run_epoch()
+            readings = {n: modality.quantize(scenario.field.value(n, epoch))
+                        for n in scenario.group_of}
+            truth = oracle_scores(readings, scenario.group_of, agg)
+            assert is_valid_top_k(result.items, truth, k, tolerance=1e-6)
+
+    @given(st.integers(0, 1_000_000), st.integers(1, 6), st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_tja_equals_oracle_on_random_series(self, seed, k, correlated):
+        from repro.core import Tja
+        from repro.scenarios import grid_rooms_scenario
+
+        from .conftest import make_series, vertical_oracle
+
+        scenario = grid_rooms_scenario(side=3, rooms_per_axis=2,
+                                       seed=seed % 100)
+        nodes = list(scenario.group_of)
+        series = make_series(nodes, epochs=16, seed=seed,
+                             correlated=correlated)
+        agg = make_aggregate("AVG", 0, 100)
+        _, expected = vertical_oracle(series, agg, k)
+        result = Tja(scenario.network, agg, k, series).execute()
+        assert [i.key for i in result.items] == [t for t, _ in expected]

@@ -1,0 +1,58 @@
+"""The top-level package surface and TinyDB compatibility details."""
+
+import pytest
+
+import repro
+from repro.query.parser import parse
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_everything_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_one_liner_workflow(self):
+        scenario = repro.figure1_scenario()
+        server = repro.KSpotServer(scenario.network,
+                                   group_of=scenario.group_of)
+        server.submit("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
+                      "GROUP BY roomid")
+        result = server.run(1)[0]
+        assert result.top.key == "C"
+
+    def test_errors_share_a_base(self):
+        from repro.errors import (
+            KSpotError, LexError, ParseError, PlanError, ProtocolError,
+            RoutingError, ScenarioError, StorageError, StorageFullError,
+            TopologyError, ValidationError,
+        )
+
+        for exc in (LexError("x", 0, 1, 1), ParseError("x"),
+                    ValidationError("x"), PlanError("x"),
+                    TopologyError("x"), RoutingError("x"),
+                    StorageError("x"), StorageFullError("x"),
+                    ProtocolError("x"), ScenarioError("x")):
+            assert isinstance(exc, KSpotError)
+
+
+class TestTinyDbCompatibility:
+    def test_sample_period_is_epoch_duration(self):
+        a = parse("SELECT AVG(sound) FROM sensors SAMPLE PERIOD 30 s")
+        b = parse("SELECT AVG(sound) FROM sensors EPOCH DURATION 30 s")
+        assert a.epoch == b.epoch
+
+    def test_sample_period_in_tinydb_order(self):
+        query = parse("SELECT nodeid, light FROM sensors "
+                      "SAMPLE PERIOD 2 s LIFETIME 1 h")
+        assert query.epoch.seconds == 2.0
+        assert query.lifetime.seconds == 3600.0
+
+    def test_duplicate_across_spellings_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="duplicate"):
+            parse("SELECT sound FROM sensors EPOCH DURATION 1 s "
+                  "SAMPLE PERIOD 2 s")

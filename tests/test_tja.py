@@ -1,0 +1,97 @@
+"""TJA: phases, exactness, cost ordering."""
+
+import pytest
+
+from repro.core import Tja
+from repro.core.aggregates import make_aggregate
+from repro.errors import ValidationError
+from repro.scenarios import grid_rooms_scenario
+
+from .conftest import make_series, vertical_oracle
+
+
+@pytest.fixture
+def deployment():
+    return grid_rooms_scenario(side=4, rooms_per_axis=2, seed=1)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("correlated", [True, False])
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_oracle(self, deployment, k, correlated):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=40, seed=k * 7 + correlated,
+                             correlated=correlated)
+        aggregate = make_aggregate("AVG", 0, 100)
+        _, expected = vertical_oracle(series, aggregate, k)
+        result = Tja(deployment.network, aggregate, k, series).execute()
+        assert [(i.key, pytest.approx(i.score)) for i in result.items] == \
+            [(t, pytest.approx(s)) for t, s in expected]
+
+    @pytest.mark.parametrize("func", ["AVG", "SUM", "MAX", "MIN"])
+    def test_all_aggregates(self, deployment, func):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=30, seed=3, correlated=True)
+        aggregate = make_aggregate(func, 0, 100)
+        _, expected = vertical_oracle(series, aggregate, 4)
+        result = Tja(deployment.network, aggregate, 4, series).execute()
+        got = [(i.key, round(i.score, 9)) for i in result.items]
+        assert got == [(t, round(s, 9)) for t, s in expected]
+
+    def test_k_exceeding_universe(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=5, seed=4)
+        aggregate = make_aggregate("AVG", 0, 100)
+        result = Tja(deployment.network, aggregate, 50, series).execute()
+        assert len(result.items) == 5
+
+
+class TestPhases:
+    def test_phase_bytes_recorded(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=30, seed=5, correlated=True)
+        result = Tja(deployment.network, make_aggregate("AVG", 0, 100), 3,
+                     series).execute()
+        assert result.per_phase_bytes["LB"] > 0
+        assert result.per_phase_bytes["HJ"] > 0
+
+    def test_correlated_data_skips_cleanup(self, deployment):
+        """When local and global rankings agree, LB candidates suffice."""
+        nodes = list(deployment.group_of)
+        # Perfectly correlated: every node sees the same column.
+        shared = {t: float(t % 50) for t in range(50)}
+        series = {n: dict(shared) for n in nodes}
+        result = Tja(deployment.network, make_aggregate("AVG", 0, 100), 3,
+                     series).execute()
+        assert result.cleanup_rounds == 0
+        assert result.candidates <= 3 * 2
+
+    def test_uniform_data_needs_cleanup(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=40, seed=6, correlated=False)
+        result = Tja(deployment.network, make_aggregate("AVG", 0, 100), 3,
+                     series).execute()
+        assert result.cleanup_rounds == 1
+
+    def test_candidates_at_least_k(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=20, seed=7)
+        result = Tja(deployment.network, make_aggregate("AVG", 0, 100), 5,
+                     series).execute()
+        assert result.candidates >= 5
+
+
+class TestValidation:
+    def test_misaligned_windows_rejected(self, deployment):
+        series = {1: {0: 1.0, 1: 2.0}, 2: {0: 1.0}}
+        with pytest.raises(ValidationError, match="aligned"):
+            Tja(deployment.network, make_aggregate("AVG", 0, 100), 1, series)
+
+    def test_empty_series_rejected(self, deployment):
+        with pytest.raises(ValidationError):
+            Tja(deployment.network, make_aggregate("AVG", 0, 100), 1, {})
+
+    def test_bad_k_rejected(self, deployment):
+        with pytest.raises(ValidationError):
+            Tja(deployment.network, make_aggregate("AVG", 0, 100), 0,
+                {1: {0: 1.0}})

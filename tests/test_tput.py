@@ -1,0 +1,89 @@
+"""TPUT: three-round protocol, exactness, flat-routing costs."""
+
+import pytest
+
+from repro.core import Tja, Tput
+from repro.core.aggregates import make_aggregate
+from repro.errors import ValidationError
+from repro.scenarios import grid_rooms_scenario
+
+from .conftest import make_series, vertical_oracle
+
+
+@pytest.fixture
+def deployment():
+    return grid_rooms_scenario(side=4, rooms_per_axis=2, seed=2)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 4, 9])
+    @pytest.mark.parametrize("correlated", [True, False])
+    def test_matches_oracle_avg(self, deployment, k, correlated):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=35, seed=k + 31 * correlated,
+                             correlated=correlated)
+        aggregate = make_aggregate("AVG", 0, 100)
+        _, expected = vertical_oracle(series, aggregate, k)
+        result = Tput(deployment.network, aggregate, k, series).execute()
+        got = [(i.key, round(i.score, 9)) for i in result.items]
+        assert got == [(t, round(s, 9)) for t, s in expected]
+
+    def test_sum_ranking(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=25, seed=8)
+        aggregate = make_aggregate("SUM", 0, 100)
+        _, expected = vertical_oracle(series, aggregate, 3)
+        result = Tput(deployment.network, aggregate, 3, series).execute()
+        got = [(i.key, round(i.score, 9)) for i in result.items]
+        assert got == [(t, round(s, 9)) for t, s in expected]
+
+
+class TestProtocol:
+    def test_three_phases_recorded(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=25, seed=9)
+        result = Tput(deployment.network, make_aggregate("AVG", 0, 100), 3,
+                      series).execute()
+        assert result.per_phase_bytes["R1"] > 0
+        assert result.per_phase_bytes["R2"] >= 0
+
+    def test_more_expensive_than_tja(self):
+        a = grid_rooms_scenario(side=5, rooms_per_axis=2, seed=3)
+        b = grid_rooms_scenario(side=5, rooms_per_axis=2, seed=3)
+        nodes = list(a.group_of)
+        series = make_series(nodes, epochs=64, seed=10, correlated=True)
+        aggregate = make_aggregate("AVG", 0, 100)
+        Tja(a.network, aggregate, 5, series).execute()
+        Tput(b.network, aggregate, 5, series).execute()
+        assert (b.network.stats.payload_bytes
+                > a.network.stats.payload_bytes)
+
+    def test_candidate_set_bounded_below_by_k(self, deployment):
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=25, seed=11)
+        result = Tput(deployment.network, make_aggregate("AVG", 0, 100), 4,
+                      series).execute()
+        assert result.candidates >= 4
+
+
+class TestValidation:
+    def test_min_max_rejected(self, deployment):
+        with pytest.raises(ValidationError, match="SUM"):
+            Tput(deployment.network, make_aggregate("MAX", 0, 100), 1,
+                 {1: {0: 1.0}})
+
+    def test_negative_domain_handled_by_shift(self, deployment):
+        """Temperatures can be negative; dense windows shift safely."""
+        nodes = list(deployment.group_of)
+        series = make_series(nodes, epochs=20, seed=12, lo=-10.0, hi=60.0,
+                             correlated=True)
+        aggregate = make_aggregate("AVG", -10, 60)
+        _, expected = vertical_oracle(series, aggregate, 3)
+        result = Tput(deployment.network, aggregate, 3, series).execute()
+        got = [(i.key, round(i.score, 9)) for i in result.items]
+        assert got == [(t, round(s, 9)) for t, s in expected]
+
+    def test_misaligned_rejected(self, deployment):
+        with pytest.raises(ValidationError, match="aligned"):
+            Tput(deployment.network, make_aggregate("AVG", 0, 100), 1,
+                 {1: {0: 1.0}, 2: {1: 2.0}})

@@ -1,0 +1,97 @@
+"""Trace recording, replay and CSV round-tripping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensing.generators import ConstantField, UniformRandomField
+from repro.sensing.traces import Trace, TraceRecorder, replay
+
+
+@pytest.fixture
+def recorded():
+    field = UniformRandomField(0, 100, seed=11)
+    recorder = TraceRecorder(field, node_ids=[1, 2, 3], attribute="sound")
+    return recorder.record(epochs=5)
+
+
+class TestRecorder:
+    def test_shape(self, recorded):
+        assert recorded.epochs == 5
+        assert recorded.node_ids == (1, 2, 3)
+
+    def test_values_match_field(self):
+        field = UniformRandomField(0, 100, seed=11)
+        trace = TraceRecorder(field, [1], "sound").record(3)
+        assert trace.value(1, 2) == field.value(1, 2)
+
+    def test_start_epoch_offset(self):
+        field = UniformRandomField(0, 100, seed=11)
+        trace = TraceRecorder(field, [1], "sound").record(2, start_epoch=10)
+        assert trace.value(1, 0) == field.value(1, 10)
+
+    def test_requires_nodes(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(ConstantField({}), node_ids=[])
+
+    def test_requires_positive_epochs(self, recorded):
+        field = ConstantField({1: 1.0})
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(field, [1]).record(0)
+
+
+class TestTraceAccess:
+    def test_missing_cell_raises(self, recorded):
+        with pytest.raises(ConfigurationError):
+            recorded.value(99, 0)
+
+    def test_column_extracts_time_series(self, recorded):
+        column = recorded.column(2)
+        assert len(column) == 5
+        assert column[3] == recorded.value(2, 3)
+
+    def test_iteration_yields_rows(self, recorded):
+        rows = list(recorded)
+        assert len(rows) == 5
+        assert set(rows[0]) == {1, 2, 3}
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self, recorded):
+        text = recorded.to_csv()
+        back = Trace.from_csv(text, attribute="sound")
+        assert back.epochs == recorded.epochs
+        for t, row in enumerate(recorded.rows):
+            for node, value in row.items():
+                assert back.value(node, t) == pytest.approx(value)
+
+    def test_sparse_cells_survive(self):
+        trace = Trace(attribute="x", rows=[{1: 5.0}, {2: 6.0}])
+        back = Trace.from_csv(trace.to_csv())
+        assert back.rows[0] == {1: 5.0}
+        assert back.rows[1] == {2: 6.0}
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace.from_csv("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace.from_csv("time,node_1\n0,5\n")
+
+
+class TestReplay:
+    def test_trace_replay_round_trips(self, recorded):
+        field = replay(recorded)
+        assert field.value(1, 4) == recorded.value(1, 4)
+
+    def test_mapping_replay(self):
+        field = replay({0: {1: 5.0}, 1: {1: 7.0}})
+        assert field.value(1, 1) == 7.0
+
+    def test_non_contiguous_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replay({0: {1: 5.0}, 2: {1: 7.0}})
+
+    def test_cycle_flag_propagates(self, recorded):
+        field = replay(recorded, cycle=True)
+        assert field.value(1, 5) == recorded.value(1, 0)
