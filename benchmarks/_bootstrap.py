@@ -1,0 +1,31 @@
+"""Script-mode path wiring for the experiment benchmarks.
+
+``import _bootstrap`` as the first import of every ``bench_e*.py`` so
+that ``python benchmarks/bench_e1_figure1.py`` finds the ``repro``
+package without an exported PYTHONPATH: the repo keeps sources under
+``src/``, which this module prepends to ``sys.path`` (no-op when repro
+is already importable, e.g. under ``PYTHONPATH=src pytest``).
+
+Also provides :func:`main` — the uniform ``__main__`` runner that
+executes a benchmark file's tests through pytest (with the benchmark
+fixture provided by pytest-benchmark) and prints the report tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+
+def main(bench_file: str) -> int:
+    """Run one benchmark module as a script: ``main(__file__)``."""
+    import pytest
+
+    return pytest.main([bench_file, "-q", "-s", "--benchmark-disable"])

@@ -12,6 +12,8 @@ Three studies behind DESIGN.md's design choices:
     observation that justifies KSpot's per-class routing.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import (
     Fila,
     Mint,
@@ -121,3 +123,7 @@ def test_e10c_fila_crossover(benchmark, table):
     # volatile: the reason KSpot routes per query class, not globally.
     assert ratios["quiet"] < 1.0
     assert ratios["volatile"] > ratios["quiet"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

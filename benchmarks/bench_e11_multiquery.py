@@ -1,0 +1,142 @@
+"""E11 — multi-query sessions: N concurrent queries vs N serial runs.
+
+The multi-query server (PR: session layer) serves every user's query
+over ONE deployment on a shared epoch clock: each sensor board samples
+once per epoch and every session consumes that same reading. This
+benchmark quantifies the claim against the obvious alternative — run
+the same N queries one after another, each driving its own epochs —
+and checks the answers are bit-identical either way.
+
+Reported per workload size N:
+
+* total physical sensor samples (the shared clock should pay the
+  per-epoch sampling cost once, not N times);
+* total radio messages / payload bytes (unchanged per query — pruning
+  state is per-session — so totals match serial);
+* wall-clock for the concurrent pass vs the serial pass.
+"""
+
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
+import time
+
+from repro.scenarios import grid_rooms_scenario
+from repro.server import KSpotServer
+
+from conftest import once, report
+
+#: The mixed per-user workload: ranking rooms by different aggregates
+#: plus a historic TJA pass — all over the same sound field.
+QUERIES = [
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 1 roomid, MAX(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 3 roomid, SUM(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 1 roomid, MIN(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+    "GROUP BY epoch WITH HISTORY 10 s EPOCH DURATION 1 s",
+]
+
+EPOCHS = 25
+SIDE = 6
+ROOMS = 3
+SEED = 11
+
+
+def total_samples(network):
+    return sum(network.node(n).samples_taken
+               for n in network.tree.sensor_ids)
+
+
+def run_serial(queries):
+    """Each query gets the deployment to itself, one after another."""
+    samples = messages = payload = 0
+    outcomes = []
+    started = time.perf_counter()
+    for query in queries:
+        scenario = grid_rooms_scenario(side=SIDE, rooms_per_axis=ROOMS,
+                                       seed=SEED)
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        sid = server.submit_session(query)
+        session = server.session(sid)
+        if session.is_historic:
+            session.run_historic()
+            outcomes.append(tuple((i.key, i.score)
+                                  for i in session.historic_result.items))
+        else:
+            server.run_all(EPOCHS)
+            outcomes.append(tuple((i.key, i.score)
+                                  for i in session.results[-1].items))
+        samples += total_samples(scenario.network)
+        messages += scenario.network.stats.messages
+        payload += scenario.network.stats.payload_bytes
+    elapsed = time.perf_counter() - started
+    return samples, messages, payload, elapsed, outcomes
+
+
+def run_concurrent(queries):
+    """All queries share one deployment and one epoch clock."""
+    scenario = grid_rooms_scenario(side=SIDE, rooms_per_axis=ROOMS,
+                                   seed=SEED)
+    server = KSpotServer(scenario.network, group_of=scenario.group_of)
+    sids = [server.submit_session(query) for query in queries]
+    started = time.perf_counter()
+    server.run_all(EPOCHS)
+    elapsed = time.perf_counter() - started
+    outcomes = []
+    for sid in sids:
+        session = server.session(sid)
+        if session.is_historic:
+            outcomes.append(tuple((i.key, i.score)
+                                  for i in session.historic_result.items))
+        else:
+            outcomes.append(tuple((i.key, i.score)
+                                  for i in session.results[-1].items))
+    network = scenario.network
+    return (total_samples(network), network.stats.messages,
+            network.stats.payload_bytes, elapsed, outcomes)
+
+
+def run_scaling():
+    rows = []
+    checks = []
+    for n in (1, 2, 3, 5):
+        queries = [QUERIES[i % len(QUERIES)] for i in range(n)]
+        s_samples, s_msgs, s_bytes, s_time, s_out = run_serial(queries)
+        c_samples, c_msgs, c_bytes, c_time, c_out = run_concurrent(queries)
+        rows.append([n, s_samples, c_samples,
+                     f"{s_samples / c_samples:.2f}x",
+                     s_msgs, c_msgs,
+                     f"{s_time * 1e3:.0f}", f"{c_time * 1e3:.0f}"])
+        checks.append((n, s_out, c_out, s_samples, c_samples))
+    return rows, checks
+
+
+def test_e11_concurrent_vs_serial(benchmark, table):
+    rows, checks = once(benchmark, run_scaling)
+    table("E11: N concurrent queries vs N serial runs "
+          f"({SIDE * SIDE} sensors, {EPOCHS} epochs)",
+          ["N", "samples serial", "samples conc", "sampling gain",
+           "msgs serial", "msgs conc", "ms serial", "ms conc"],
+          rows)
+
+    for n, serial_out, concurrent_out, s_samples, c_samples in checks:
+        # Identical answers either way — the session layer is purely an
+        # execution-sharing optimisation.
+        assert serial_out == concurrent_out
+        if n > 1:
+            # The shared clock samples each board once per epoch,
+            # serial runs pay it once per query.
+            assert c_samples < s_samples
+    # Sampling cost is flat in N for the epoch-mode queries: the N=5
+    # workload re-uses the N=1 deployment's samples.
+    n5 = [r for r in rows if r[0] == 5][0]
+    n1 = [r for r in rows if r[0] == 1][0]
+    assert n5[2] == n1[2]
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -5,6 +5,8 @@ greedy answer (D, 76.5), and the correct answer (C, 75) from MINT, TAG
 and the centralized oracle, with per-algorithm traffic.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Centralized, Mint, MintConfig, NaiveTopK, Tag
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import figure1_scenario
@@ -49,3 +51,7 @@ def test_e1_figure1_walkthrough(benchmark, table):
     assert answers["mint"] == ("C", 75.0)
     assert answers["tag"] == ("C", 75.0)
     assert answers["centralized"] == ("C", 75.0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -9,6 +9,8 @@ Shape expectations: MINT ⪅ TAG ≪ centralized; MINT's edge over TAG
 shrinks as K approaches the number of groups (nothing left to prune).
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Centralized, Mint, MintConfig, Tag
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
@@ -87,3 +89,7 @@ def test_e2_node_ranking(benchmark, table):
           HEADERS, rows)
     check_shape(rows, savings)
     assert savings[1] > 40.0  # the 'enormous savings' regime
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -6,6 +6,8 @@ network grows: the MINT/TAG saving should widen (and the centralized
 cost should blow up superlinearly — readings cross more hops).
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Centralized, Mint, MintConfig, Tag
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
@@ -69,3 +71,7 @@ def test_e3_network_size(benchmark, table):
         assert row[1] < row[2]
         if row[0] >= 36:
             assert row[1] < row[3]
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

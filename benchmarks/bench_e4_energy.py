@@ -7,6 +7,8 @@ everyone's traffic), so the metric that matters is the *maximum*
 per-node burn rate, not the average.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Centralized, Mint, MintConfig, Tag
 from repro.core.aggregates import make_aggregate
 from repro.network.energy import lifetime_epochs
@@ -65,3 +67,7 @@ def test_e4_energy_and_lifetime(benchmark, table):
     # group per sensor defeats aggregation — see E2b/E3.)
     assert metrics["mint"]["lifetime"] > metrics["tag"]["lifetime"]
     assert metrics["mint"]["lifetime"] > metrics["centralized"]["lifetime"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

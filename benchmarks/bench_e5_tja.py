@@ -6,6 +6,8 @@ TJA's hierarchical union/join should beat TPUT's flat three rounds by
 a wide margin, and both return exactly the centralized answer.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Tja, Tput
 from repro.core.aggregates import make_aggregate
 from repro.network.messages import ObjectScore, ScoreListMessage
@@ -60,3 +62,7 @@ def test_e5_tja_vs_tput(benchmark, table):
         assert tput_bytes <= cent * 1.2      # TPUT ~ centralized at worst
     # Cost grows (weakly) with K for TJA.
     assert rows[0][1] <= rows[-1][1]
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

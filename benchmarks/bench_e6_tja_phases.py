@@ -6,6 +6,8 @@ hot, the larger L_sink grows, the more the Hierarchical-Join phase
 pays, and the more often Clean-Up must expand.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Tja
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
@@ -49,3 +51,7 @@ def test_e6_phase_breakdown(benchmark, table):
         assert hj_bytes > lb_bytes
         # Candidates can never be fewer than K.
         assert row[4] >= K
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

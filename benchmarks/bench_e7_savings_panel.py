@@ -6,6 +6,8 @@ query with a TAG shadow baseline, and the per-epoch savings series the
 System Panel plots. Every reported answer is exact.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core.mint import MintConfig
 from repro.gui.render import render_savings
 from repro.scenarios import conference_scenario
@@ -55,3 +57,7 @@ def test_e7_savings_panel(benchmark, table):
     assert cumulative.payload_bytes <= cumulative.baseline_payload_bytes
     assert cumulative.byte_saving_pct >= 0.0
     assert len(panel.samples) == EPOCHS
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -7,6 +7,8 @@ and sampling pay for deeper history. The bench verifies that, and that
 windowed answers still match a windowed oracle.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import KSpotEngine, is_valid_top_k, oracle_scores
 from repro.core.aggregates import make_aggregate
 from repro.query.plan import compile_query
@@ -66,3 +68,7 @@ def test_e8_history_window(benchmark, table):
     # usually shrinks slightly — longer windows smooth the aggregate, so
     # cached views change less.)
     assert max(byte_costs) <= min(byte_costs) * 1.15
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -6,6 +6,8 @@ the γ bounds bite early; near-ties force probe rounds. The γ framework
 keeps answers exact at every skew.
 """
 
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
 from repro.core import Mint, MintConfig, Tag, is_valid_top_k, oracle_scores
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
@@ -60,3 +62,7 @@ def test_e9_skew_ablation(benchmark, table):
     # than the all-ties regime (usually far less).
     assert probe_counts[-1] <= probe_counts[0]
     # Exactness held everywhere (asserted inside the sweep).
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

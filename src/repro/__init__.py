@@ -36,7 +36,7 @@ from .scenarios import (
     figure1_scenario,
     grid_rooms_scenario,
 )
-from .server import KSpotServer
+from .server import KSpotServer, QuerySession
 
 __version__ = "1.0.0"
 
@@ -44,6 +44,7 @@ __all__ = [
     "__version__",
     "KSpotError",
     "KSpotServer",
+    "QuerySession",
     "KSpotEngine",
     "Mint",
     "MintConfig",

@@ -5,6 +5,9 @@ Commands:
 * ``demo figure1`` / ``demo conference`` — the paper's two canned
   deployments, with answers and traffic printed;
 * ``run`` — execute a query over a scenario configuration file;
+* ``workload`` — run a file of mixed queries (MINT / TJA / TPUT /
+  FILA classes) *concurrently* over one deployment on the shared
+  epoch clock, with per-session and aggregate savings;
 * ``scenario-init`` — write a template scenario file to edit;
 * ``savings`` — a quick MINT-vs-TAG savings table for a grid
   deployment (the System Panel, in one shot).
@@ -47,6 +50,27 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--algorithm",
                      choices=[a.value for a in Algorithm], default=None,
                      help="override the routed algorithm")
+
+    workload = sub.add_parser(
+        "workload",
+        help="run a file of queries concurrently over one deployment")
+    workload.add_argument(
+        "file",
+        help="query file: one query per line; '#' comments and blank "
+             "lines ignored; an 'algorithm:' prefix (e.g. 'fila: "
+             "SELECT ...') overrides the routing")
+    workload.add_argument("--scenario", default=None,
+                          help="scenario JSON file (default: a grid "
+                               "deployment)")
+    workload.add_argument("--epochs", type=int, default=20)
+    workload.add_argument("--side", type=int, default=6,
+                          help="grid side when no scenario file is given")
+    workload.add_argument("--rooms", type=int, default=3,
+                          help="rooms per axis for the default grid")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--baseline", action="store_true",
+                          help="run a TAG shadow per top-k session and "
+                               "report per-session + aggregate savings")
 
     init = sub.add_parser("scenario-init",
                           help="write a template scenario file")
@@ -100,12 +124,17 @@ def _cmd_demo(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    config = load_scenario(args.scenario)
+def _deploy_from_config(config, seed: int):
+    """Deploy a scenario file's network over a seeded room field."""
     field = RoomField(config.cluster_of or
                       {n: n for n in config.positions},
-                      seed=args.seed)
-    network = config.deploy(field)
+                      seed=seed)
+    return config.deploy(field)
+
+
+def _cmd_run(args) -> int:
+    config = load_scenario(args.scenario)
+    network = _deploy_from_config(config, args.seed)
     server = KSpotServer(network, group_of=config.cluster_of or None)
     algorithm = Algorithm(args.algorithm) if args.algorithm else None
     plan = server.submit(args.query, algorithm=algorithm)
@@ -121,6 +150,116 @@ def _cmd_run(args) -> int:
     else:
         results = server.run(args.epochs)
         _print_results(results, network.stats)
+    return 0
+
+
+def _parse_workload_line(line: str):
+    """``(algorithm | None, query_text)`` for one workload file line."""
+    head, sep, rest = line.partition(":")
+    if sep and head.strip().lower() in {a.value for a in Algorithm}:
+        return Algorithm(head.strip().lower()), rest.strip()
+    return None, line
+
+
+def _load_workload(path: str):
+    """Parse a workload file into (algorithm, query) pairs."""
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        raise KSpotError(f"cannot read workload file: {error}") from None
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries.append(_parse_workload_line(line))
+    if not entries:
+        raise KSpotError(f"workload file {path!r} contains no queries")
+    return entries
+
+
+def _cmd_workload(args) -> int:
+    from .gui.stats import SystemPanel
+    from .scenarios import grid_rooms_scenario
+
+    if args.scenario:
+        config = load_scenario(args.scenario)
+
+        def deploy():
+            return _deploy_from_config(config, args.seed)
+
+        network = deploy()
+        group_of = config.cluster_of or None
+        factory = deploy
+    else:
+        def deploy():
+            return grid_rooms_scenario(side=args.side,
+                                       rooms_per_axis=args.rooms,
+                                       seed=args.seed)
+
+        scenario = deploy()
+        network = scenario.network
+        group_of = scenario.group_of
+        factory = lambda: deploy().network  # noqa: E731
+
+    server = KSpotServer(network, group_of=group_of,
+                         baseline_factory=factory if args.baseline else None)
+    entries = _load_workload(args.file)
+    rejected = 0
+    for algorithm, query in entries:
+        try:
+            sid = server.submit_session(query, algorithm=algorithm)
+        except KSpotError as error:
+            rejected += 1
+            print(f"rejected: {query!r} — {error}", file=sys.stderr)
+            continue
+        session = server.session(sid)
+        print(f"session {sid}: routed {session.plan.algorithm.value} "
+              f"({session.plan.query_class.value}) — {query}")
+    if not server.sessions:
+        raise KSpotError("every workload query was rejected")
+    print()
+
+    for _ in server.stream_all(args.epochs):
+        pass
+
+    rows = []
+    for sid in sorted(server.sessions):
+        session = server.sessions[sid]
+        if session.historic_result is not None:
+            answer = ", ".join(f"{i.key}={i.score:.2f}"
+                               for i in session.historic_result.items[:3])
+            epochs_run = "one-shot"
+        elif session.results:
+            last = session.results[-1]
+            answer = ", ".join(f"{i.key}={i.score:.2f}" for i in last.items)
+            epochs_run = len(session.results)
+        else:
+            answer = "(still acquiring)"
+            epochs_run = 0
+        rows.append([sid, session.plan.algorithm.value, epochs_run, answer,
+                     session.stats.messages, session.stats.payload_bytes])
+    print(render_table(
+        ["session", "algorithm", "epochs", "latest answer",
+         "messages", "bytes"], rows))
+    print()
+    stats = network.stats
+    samples = sum(network.node(n).samples_taken
+                  for n in network.tree.sensor_ids)
+    print(f"deployment: epoch {network.epoch}, {samples} sensor samples, "
+          f"{stats.messages} messages, {stats.payload_bytes} payload bytes, "
+          f"{stats.radio_joules * 1e3:.2f} mJ radio"
+          + (f" ({rejected} queries rejected)" if rejected else ""))
+    if args.baseline:
+        panels = [s.system_panel for s in server.sessions.values()
+                  if s.system_panel is not None and s.system_panel.samples]
+        if panels:
+            total = SystemPanel.aggregate(panels)
+            print(f"aggregate savings vs per-query TAG shadows: "
+                  f"{total.message_saving_pct:.1f}% messages, "
+                  f"{total.byte_saving_pct:.1f}% bytes, "
+                  f"{total.energy_saving_pct:.1f}% radio energy")
     return 0
 
 
@@ -185,6 +324,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "run": _cmd_run,
+        "workload": _cmd_workload,
         "scenario-init": _cmd_scenario_init,
         "savings": _cmd_savings,
     }

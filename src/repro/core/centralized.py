@@ -55,7 +55,7 @@ class Centralized:
             node = self.network.node(node_id)
             value = node.read(self.attribute, self.network.epoch)
             if self.window_epochs is not None:
-                value = node.window.aggregate(
+                value = node.window_for(self.attribute).aggregate(
                     self.aggregate.func.lower(), last_n=self.window_epochs)
             if self.where_fn is not None and not self.where_fn(
                     node_id, self.group_of[node_id], value):

@@ -210,16 +210,24 @@ class KSpotEngine:
     # Historic-vertical execution
     # ------------------------------------------------------------------
 
+    def sample_participants(self) -> None:
+        """One radio-silent acquisition: every live participant samples
+        (and locally buffers) the plan's attribute for the current
+        epoch. Reads go through the node-level per-epoch cache, so on a
+        shared deployment boards that already fired this epoch are not
+        re-sampled."""
+        for node_id in self.participants:
+            if self.network.node(node_id).alive:
+                self.network.node(node_id).read(
+                    self.plan.attribute, self.network.epoch)
+
     def fill_windows(self, epochs: int | None = None) -> None:
         """Acquisition stage: sample & buffer locally, radio silent."""
         total = epochs if epochs is not None else self.plan.window_epochs
         if total is None:
             raise PlanError("no window length to fill")
         for _ in range(total):
-            for node_id in self.participants:
-                if self.network.node(node_id).alive:
-                    self.network.node(node_id).read(
-                        self.plan.attribute, self.network.epoch)
+            self.sample_participants()
             self.network.advance_epoch()
 
     def _series(self) -> dict[int, dict[int, float]]:
@@ -231,7 +239,7 @@ class KSpotEngine:
             node = self.network.node(node_id)
             if not node.alive:
                 continue
-            entries = node.history(window)
+            entries = node.history(window, attribute=self.plan.attribute)
             series[node_id] = {entry.epoch: entry.value for entry in entries}
         return series
 

@@ -137,7 +137,7 @@ class Mint:
             node = self.network.node(node_id)
             value = node.read(self.attribute, self.network.epoch)
             if self.window_epochs is not None:
-                value = node.window.aggregate(
+                value = node.window_for(self.attribute).aggregate(
                     self.aggregate.func.lower()
                     if self.aggregate.func != "COUNT" else "avg",
                     last_n=self.window_epochs)

@@ -58,7 +58,7 @@ class NaiveTopK:
                     node = self.network.node(node_id)
                     value = node.read(self.attribute, self.network.epoch)
                     if self.window_epochs is not None:
-                        value = node.window.aggregate(
+                        value = node.window_for(self.attribute).aggregate(
                             self.aggregate.func.lower(),
                             last_n=self.window_epochs)
                     view[self.group_of[node_id]] = (

@@ -9,6 +9,7 @@ keeps a time series of per-epoch savings for plotting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..errors import ValidationError
 from ..network.stats import NetworkStats, PhaseSnapshot
@@ -88,19 +89,45 @@ class SystemPanel:
         self._epoch += 1
         return entry
 
+    @staticmethod
+    def _summed(samples: "Iterable[SavingsSample]",
+                epoch: int) -> SavingsSample:
+        """One sample holding the component-wise totals of many."""
+        samples = tuple(samples)
+        return SavingsSample(
+            epoch=epoch,
+            messages=sum(s.messages for s in samples),
+            baseline_messages=sum(s.baseline_messages for s in samples),
+            payload_bytes=sum(s.payload_bytes for s in samples),
+            baseline_payload_bytes=sum(
+                s.baseline_payload_bytes for s in samples),
+            radio_joules=sum(s.radio_joules for s in samples),
+            baseline_radio_joules=sum(
+                s.baseline_radio_joules for s in samples),
+        )
+
     @property
     def cumulative(self) -> SavingsSample:
         """Totals since the panel started observing."""
         if not self.samples:
             raise ValidationError("no epochs sampled yet")
-        return SavingsSample(
-            epoch=self._epoch - 1,
-            messages=sum(s.messages for s in self.samples),
-            baseline_messages=sum(s.baseline_messages for s in self.samples),
-            payload_bytes=sum(s.payload_bytes for s in self.samples),
-            baseline_payload_bytes=sum(
-                s.baseline_payload_bytes for s in self.samples),
-            radio_joules=sum(s.radio_joules for s in self.samples),
-            baseline_radio_joules=sum(
-                s.baseline_radio_joules for s in self.samples),
-        )
+        return self._summed(self.samples, epoch=self._epoch - 1)
+
+    @staticmethod
+    def aggregate(panels: "Iterable[SystemPanel]") -> SavingsSample:
+        """Fleet-wide savings across many sessions' panels.
+
+        The multi-query server keeps one panel per session; the wall
+        display wants a single number for the whole deployment. Sums
+        every panel's cumulative costs (panels that have not sampled an
+        epoch yet contribute zero) and reports them as one sample whose
+        ``epoch`` is the deepest epoch any panel has closed.
+        """
+        panels = tuple(panels)
+        if not panels:
+            raise ValidationError("no panels to aggregate")
+        totals = [panel.cumulative for panel in panels if panel.samples]
+        if not totals:
+            raise ValidationError("no epochs sampled yet")
+        return SystemPanel._summed(totals,
+                                   epoch=max(s.epoch for s in totals))

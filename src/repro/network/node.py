@@ -29,16 +29,46 @@ class SensorNode:
         self.board = board
         self.group = group
         self.ledger = EnergyLedger()
+        #: The primary history window — adopted by the first attribute
+        #: this node samples (the only one, on the single-channel
+        #: boards every shipped scenario deploys).
         self.window: SlidingWindow = SlidingWindow(capacity=window_capacity)
+        self._window_capacity = window_capacity
+        self._windows: dict[str, SlidingWindow] = {}
         #: Optional flash-resident history (§III-B: "either in main
         #: memory … or on secondary memory"). Attached via
         #: :meth:`attach_flash`; page costs charge the storage ledger.
         self.flash_index: MicroHashIndex | None = None
         self.alive = True
+        #: Physical acquisitions performed (cache hits excluded).
+        self.samples_taken = 0
+        #: attribute → (epoch, value) of the newest physical sample.
+        self._sample_cache: dict[str, tuple[int, float]] = {}
 
     def attach_flash(self, index: MicroHashIndex) -> None:
-        """Buffer history on flash (MicroHash) instead of SRAM only."""
+        """Buffer history on flash (MicroHash) instead of SRAM only.
+
+        The flash index buffers one stream — deep history on a
+        multi-attribute board should stay in the per-attribute SRAM
+        windows (see :meth:`window_for`).
+        """
         self.flash_index = index
+
+    def window_for(self, attribute: str) -> SlidingWindow:
+        """The history window buffering ``attribute``'s readings.
+
+        Each attribute gets its own window so concurrent sessions over
+        different channels of one board cannot interleave their
+        streams. The first attribute adopts the legacy
+        :attr:`window`, keeping single-channel deployments (every
+        shipped scenario) byte-identical to the historical behaviour.
+        """
+        window = self._windows.get(attribute)
+        if window is None:
+            window = (self.window if not self._windows
+                      else SlidingWindow(capacity=self._window_capacity))
+            self._windows[attribute] = window
+        return window
 
     def _charge_flash(self, before_joules: float) -> None:
         if self.flash_index is not None:
@@ -54,35 +84,57 @@ class SensorNode:
         of the node's history — the SRAM sliding window, plus the flash
         index when one is attached (its page-write energy is charged to
         the storage ledger).
+
+        The board fires at most once per (attribute, epoch): when
+        several query sessions share the deployment, the first read of
+        an epoch pays the sampling energy and lands in the history;
+        every later read of the same epoch is served from the cached
+        reading, so concurrent queries never double-sample or
+        double-buffer.
         """
         if not self.alive:
             raise ConfigurationError(f"node {self.node_id} is dead")
         if self.board is None:
             raise ConfigurationError(f"node {self.node_id} has no sensor board")
+        cached = self._sample_cache.get(attribute)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         value = self.board.sample(attribute, self.node_id, epoch,
                                   energy_sink=self.ledger.charge_sensing)
-        self.window.append(epoch, value)
+        self.samples_taken += 1
+        self._sample_cache[attribute] = (epoch, value)
+        self.window_for(attribute).append(epoch, value)
         if self.flash_index is not None:
             before = self.flash_index.flash.stats.joules
             self.flash_index.insert(epoch, value)
             self._charge_flash(before)
         return value
 
-    def history(self, last_n: int) -> "list[WindowEntry]":
+    def history(self, last_n: int,
+                attribute: str | None = None) -> "list[WindowEntry]":
         """The most recent ``last_n`` readings, flash-first.
 
         Reads from the flash index when attached (charging page-read
         energy), falling back to the SRAM window. Flash survives past
         the window capacity, so deep historic queries prefer it.
+        ``attribute`` selects that channel's window; None keeps the
+        legacy primary window. The flash index buffers a single
+        stream, so once more than one attribute has been buffered,
+        attribute-specific reads come from the per-attribute SRAM
+        window — never from flash pages holding interleaved channels.
         """
+        window = (self.window if attribute is None
+                  else self.window_for(attribute))
+        if attribute is not None and len(self._windows) > 1:
+            return window.last(last_n)
         if self.flash_index is not None:
-            newest = self.window.latest().epoch if len(self.window) else 0
+            newest = window.latest().epoch if len(window) else 0
             before = self.flash_index.flash.stats.joules
             entries = self.flash_index.epoch_range(
                 newest - last_n + 1, newest)
             self._charge_flash(before)
             return entries
-        return self.window.last(last_n)
+        return window.last(last_n)
 
     def kill(self) -> None:
         """Mark the node dead (battery exhausted / crushed / unplugged)."""

@@ -20,7 +20,8 @@ record everything in :class:`~repro.network.stats.NetworkStats`.
 from __future__ import annotations
 
 import random
-from typing import Callable, Hashable, Iterable, Mapping
+from contextlib import contextmanager
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
 from ..errors import ConfigurationError, RoutingError, TopologyError
 from ..sensing.board import SensorBoard
@@ -77,6 +78,9 @@ class Network:
         #: demo, but counting keeps totals comparable).
         self.sink_ledger = EnergyLedger()
         self.epoch = 0
+        self._clock_holds = 0
+        self._advance_requested = False
+        self._stat_taps: list[NetworkStats] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -128,6 +132,8 @@ class Network:
                 attempts += self.radio.attempts_needed(self._rng)
         except RoutingError:
             self.stats.record_drop()
+            for tap in self._stat_taps:
+                tap.record_drop()
             raise
         air_bytes = cost.air_bytes + (attempts - cost.packets) * (
             cost.air_bytes // cost.packets)
@@ -136,15 +142,16 @@ class Network:
         self.ledger(sender).charge_tx(tx_joules)
         for receiver in receivers:
             self.ledger(receiver).charge_rx(rx_joules_each)
-        self.stats.record(
-            kind=message.kind,
-            packets=cost.packets,
-            payload_bytes=cost.payload_bytes,
-            air_bytes=air_bytes,
-            tx_joules=tx_joules,
-            rx_joules=rx_joules_each * len(receivers),
-            retransmissions=attempts - cost.packets,
-        )
+        for stats in (self.stats, *self._stat_taps):
+            stats.record(
+                kind=message.kind,
+                packets=cost.packets,
+                payload_bytes=cost.payload_bytes,
+                air_bytes=air_bytes,
+                tx_joules=tx_joules,
+                rx_joules=rx_joules_each * len(receivers),
+                retransmissions=attempts - cost.packets,
+            )
 
     def send_up(self, child: int, message: WireMessage) -> int:
         """Unicast from ``child`` to its tree parent; returns the parent id."""
@@ -226,12 +233,59 @@ class Network:
         }
 
     def advance_epoch(self) -> int:
-        """Close the epoch: charge idle energy, bump the counter."""
+        """Close the epoch: charge idle energy, bump the counter.
+
+        Inside a :meth:`shared_epoch` block the advance is deferred:
+        the request is latched and one real advance happens when the
+        outermost block exits. That lets N query sessions each "finish
+        their epoch" while the deployment's clock ticks exactly once.
+        """
+        if self._clock_holds:
+            self._advance_requested = True
+            return self.epoch
         for node_id in self.alive_sensor_ids():
             self.nodes[node_id].ledger.charge_idle(
                 self.energy.idle_joules_per_epoch)
         self.epoch += 1
         return self.epoch
+
+    @contextmanager
+    def shared_epoch(self) -> Iterator[None]:
+        """Hold the epoch clock while several sessions run one epoch.
+
+        Every :meth:`advance_epoch` call inside the block (each
+        session's engine closes "its" epoch) is coalesced into a single
+        real advance on exit, so idle energy is charged once and all
+        sessions observe the same epoch number. Nesting is allowed; the
+        outermost block performs the advance.
+        """
+        self._clock_holds += 1
+        try:
+            yield
+        finally:
+            self._clock_holds -= 1
+            if self._clock_holds == 0 and self._advance_requested:
+                self._advance_requested = False
+                self.advance_epoch()
+
+    @contextmanager
+    def tap_stats(self, stats: NetworkStats) -> Iterator[NetworkStats]:
+        """Mirror every message shipped inside the block into ``stats``.
+
+        Sessions use this to attribute their own traffic on a shared
+        deployment: the global ledger keeps counting everything, while
+        the tapped ledger sees only the block's messages.
+        """
+        self._stat_taps.append(stats)
+        try:
+            yield stats
+        finally:
+            # Unregister by identity: NetworkStats is a dataclass, so
+            # list.remove() would match any ledger with equal counters.
+            for index, tap in enumerate(reversed(self._stat_taps)):
+                if tap is stats:
+                    del self._stat_taps[len(self._stat_taps) - 1 - index]
+                    break
 
     # ------------------------------------------------------------------
     # Failure injection

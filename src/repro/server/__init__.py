@@ -7,5 +7,6 @@ Display and System panels as epoch results stream back.
 """
 
 from .server import KSpotServer
+from .session import QuerySession
 
-__all__ = ["KSpotServer"]
+__all__ = ["KSpotServer", "QuerySession"]

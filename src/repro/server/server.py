@@ -1,16 +1,35 @@
 """KSpotServer: the modified-TinyDB base station of the demo.
 
-One server owns one deployed network. Users submit SQL-like query text;
-the server compiles it (parse → validate → plan → route, §III), spins
-up the execution engine, and streams epoch results. When given a
-*shadow network* — an identical deployment running the TAG baseline —
-it also feeds the System Panel with the live savings the demo projects
-on the wall.
+One server owns one deployed network and serves *many* users at once:
+each submitted SQL-like query is compiled (parse → validate → plan →
+route, §III) into its own :class:`~repro.server.session.QuerySession`,
+and all active sessions ride a single shared epoch clock — every
+sensor board samples once per epoch and every session consumes that
+same reading, so N concurrent queries cost far less than N deployments
+(or N serial runs).
+
+Two driving styles coexist:
+
+* the legacy single-query flow (:meth:`KSpotServer.submit` /
+  :meth:`~KSpotServer.run` / :meth:`~KSpotServer.run_historic`), which
+  replaces whatever ran before — the original demo behaviour; and
+* the multi-query flow (:meth:`~KSpotServer.submit_session` /
+  :meth:`~KSpotServer.step_all` / :meth:`~KSpotServer.run_all`), which
+  keeps a registry of concurrent sessions with per-session result
+  streams, per-session traffic attribution, and session lifecycle
+  (cancel, historic completion).
+
+When given a *shadow network* — an identical deployment running the
+TAG baseline — each session also runs there under TAG and keeps its
+own System Panel with the live savings the demo projects on the wall;
+``baseline_factory`` provides a fresh shadow per session so concurrent
+baselines do not share radios.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Mapping
+from contextlib import ExitStack
+from typing import Callable, Hashable, Iterator, Mapping
 
 from ..core.engine import KSpotEngine
 from ..core.mint import MintConfig
@@ -19,20 +38,22 @@ from ..core.tja import TjaResult
 from ..core.tput import TputResult
 from ..errors import PlanError, ValidationError
 from ..gui.panels import DisplayPanel
-from ..gui.stats import SystemPanel
 from ..network.simulator import Network
 from ..query.plan import Algorithm, LogicalPlan, QueryClass, compile_query
 from ..query.validator import Schema
+from .session import QuerySession
 
 
 class KSpotServer:
-    """Query front-door plus panel feeds for one deployment."""
+    """Query front-door, session registry and panel feeds for one
+    deployment."""
 
     def __init__(self, network: Network,
                  schema: Schema | None = None,
                  group_of: Mapping[int, Hashable] | None = None,
                  display: DisplayPanel | None = None,
                  baseline_network: Network | None = None,
+                 baseline_factory: Callable[[], Network] | None = None,
                  mint_config: MintConfig | None = None):
         """Args:
             network: The deployed sensor network.
@@ -40,21 +61,27 @@ class KSpotServer:
                 node's board when omitted.
             group_of: Cluster mapping (defaults to node groups).
             display: Optional Display Panel to re-rank each epoch.
-            baseline_network: An identical shadow deployment; when
-                present, every submitted top-k query also runs there
-                under TAG and the System Panel reports the savings.
+            baseline_network: An identical shadow deployment shared by
+                every session that wants a baseline. Fine for the
+                legacy one-query-at-a-time flow; concurrent sessions
+                should prefer ``baseline_factory``.
+            baseline_factory: Zero-argument callable deploying a fresh
+                shadow network; called once per top-k session so each
+                session's TAG baseline (and System Panel) is isolated.
+            mint_config: Tunables forwarded to MINT-routed sessions.
         """
         self.network = network
         self.schema = schema or self._derive_schema(network)
         self.group_of = group_of
         self.display = display
         self.baseline_network = baseline_network
+        self.baseline_factory = baseline_factory
         self.mint_config = mint_config
-        self.engine: KSpotEngine | None = None
-        self.baseline_engine: KSpotEngine | None = None
-        self.system_panel: SystemPanel | None = None
-        self.plan: LogicalPlan | None = None
-        self.results: list[EpochResult] = []
+        #: Session registry: id → session (cancelled ones included
+        #: until explicitly removed; the legacy ``submit`` clears it).
+        self.sessions: dict[int, QuerySession] = {}
+        self._next_session_id = 1
+        self._current: QuerySession | None = None
 
     @staticmethod
     def _derive_schema(network: Network) -> Schema:
@@ -66,54 +93,194 @@ class KSpotServer:
         raise ValidationError("no sensor board found to derive a schema from")
 
     # ------------------------------------------------------------------
-    # Query lifecycle
+    # Session lifecycle
     # ------------------------------------------------------------------
+
+    def _open_session(self, query_text: str,
+                      algorithm: Algorithm | None) -> QuerySession:
+        _, plan = compile_query(query_text, self.schema, algorithm=algorithm)
+        engine = KSpotEngine(self.network, plan,
+                             group_of=self.group_of,
+                             mint_config=self.mint_config)
+        if plan.query_class is not QueryClass.HISTORIC_VERTICAL:
+            # Instantiate the routed algorithm now: plan/algorithm
+            # incompatibilities (e.g. FILA over cluster ranking) must
+            # reject *this* submission, not kill a later step_all()
+            # that is also driving everyone else's sessions.
+            engine.algorithm
+        baseline_engine = None
+        wants_baseline = (plan.query_class is not QueryClass.HISTORIC_VERTICAL
+                          and plan.k is not None)
+        if wants_baseline:
+            shadow = (self.baseline_factory()
+                      if self.baseline_factory is not None
+                      else self.baseline_network)
+            if shadow is not None:
+                _, baseline_plan = compile_query(query_text, self.schema,
+                                                 algorithm=Algorithm.TAG)
+                baseline_engine = KSpotEngine(shadow, baseline_plan,
+                                              group_of=self.group_of)
+        session = QuerySession(self._next_session_id, self.network, plan,
+                               engine, query_text,
+                               baseline_engine=baseline_engine,
+                               display=self.display)
+        self._next_session_id += 1
+        self.sessions[session.session_id] = session
+        return session
 
     def submit(self, query_text: str,
                algorithm: Algorithm | None = None) -> LogicalPlan:
-        """Compile a query and prepare execution (Query Panel → engine)."""
-        _, plan = compile_query(query_text, self.schema, algorithm=algorithm)
-        self.plan = plan
-        self.engine = KSpotEngine(self.network, plan,
-                                  group_of=self.group_of,
-                                  mint_config=self.mint_config)
-        self.results = []
-        self.baseline_engine = None
-        self.system_panel = None
-        if (self.baseline_network is not None
-                and plan.query_class is not QueryClass.HISTORIC_VERTICAL
-                and plan.k is not None):
-            _, baseline_plan = compile_query(query_text, self.schema,
-                                             algorithm=Algorithm.TAG)
-            self.baseline_engine = KSpotEngine(self.baseline_network,
-                                               baseline_plan,
-                                               group_of=self.group_of)
-            self.system_panel = SystemPanel(
-                self.network.stats, self.baseline_network.stats)
-        return plan
+        """Compile a query and make it *the* query (legacy demo flow).
 
-    def _require_engine(self) -> KSpotEngine:
-        if self.engine is None:
+        Cancels and drops every registered session, then opens a fresh
+        one — the original single-engine behaviour. Returns the
+        compiled plan; the session is reachable via
+        :attr:`current_session`. Use :meth:`submit_session` to run
+        queries concurrently instead.
+
+        Opens the new session *before* discarding the old ones, so a
+        rejected query leaves the previous submission untouched and
+        runnable — as the single-engine server always did.
+        """
+        session = self._open_session(query_text, algorithm)
+        for existing in self.sessions.values():
+            if existing is not session:
+                existing.cancel()
+        self.sessions = {session.session_id: session}
+        self._current = session
+        return session.plan
+
+    def submit_session(self, query_text: str,
+                       algorithm: Algorithm | None = None) -> int:
+        """Register one more concurrent query; returns its session id.
+
+        The new session joins the shared epoch clock on the next
+        :meth:`step_all`. Existing sessions keep running.
+        """
+        session = self._open_session(query_text, algorithm)
+        self._current = session
+        return session.session_id
+
+    def session(self, session_id: int) -> QuerySession:
+        """Look up a registered session by id."""
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise PlanError(f"unknown session {session_id}") from None
+
+    def cancel(self, session_id: int) -> None:
+        """Stop stepping a session (its results remain readable)."""
+        self.session(session_id).cancel()
+
+    def active_sessions(self) -> tuple[QuerySession, ...]:
+        """Sessions the shared clock still drives, in submission order."""
+        return tuple(self.sessions[sid] for sid in sorted(self.sessions)
+                     if self.sessions[sid].active)
+
+    # ------------------------------------------------------------------
+    # Shared-clock driving (multi-query flow)
+    # ------------------------------------------------------------------
+
+    def step_all(self) -> "dict[int, EpochResult | TjaResult | TputResult | None]":
+        """Run one shared epoch across every active session.
+
+        The deployment clock is held while the sessions execute: each
+        engine closes "its" epoch as usual, the requests coalesce, and
+        the clock ticks exactly once at the end. Sensor boards sample
+        at most once per attribute — later sessions reuse the cached
+        reading. Returns ``{session_id: outcome}``, where the outcome
+        is the epoch result for monitoring sessions, None for
+        still-acquiring historic sessions, and the one-shot answer on
+        a historic session's completing epoch.
+        """
+        active = self.active_sessions()
+        if not active:
+            raise PlanError("no active sessions (nothing submitted?)")
+        outcomes: dict[int, EpochResult | TjaResult | TputResult | None] = {}
+        with ExitStack() as stack:
+            stack.enter_context(self.network.shared_epoch())
+            seen: set[int] = set()
+            for session in active:
+                shadow = session.baseline_network
+                if shadow is not None and id(shadow) not in seen:
+                    seen.add(id(shadow))
+                    stack.enter_context(shadow.shared_epoch())
+            for session in active:
+                outcomes[session.session_id] = session.step()
+        return outcomes
+
+    def stream_all(self, epochs: int
+                   ) -> "Iterator[dict[int, EpochResult | TjaResult | TputResult | None]]":
+        """Yield :meth:`step_all` outcomes for up to ``epochs`` epochs,
+        stopping early once no session remains active."""
+        for _ in range(epochs):
+            if not self.active_sessions():
+                return
+            yield self.step_all()
+
+    def run_all(self, epochs: int) -> dict[int, list[EpochResult]]:
+        """Drive every session ``epochs`` shared epochs and collect the
+        per-session result streams (historic answers land on
+        ``session.historic_result``)."""
+        for _ in self.stream_all(epochs):
+            pass
+        return {sid: list(self.sessions[sid].results)
+                for sid in sorted(self.sessions)}
+
+    # ------------------------------------------------------------------
+    # Legacy single-session facade
+    # ------------------------------------------------------------------
+
+    @property
+    def current_session(self) -> QuerySession | None:
+        """The most recently submitted session, if any."""
+        return self._current
+
+    def _require_current(self) -> QuerySession:
+        if self._current is None:
             raise PlanError("no query submitted")
-        return self.engine
+        return self._current
+
+    @property
+    def engine(self) -> KSpotEngine | None:
+        """The current session's engine (legacy accessor)."""
+        return self._current.engine if self._current else None
+
+    @property
+    def baseline_engine(self) -> KSpotEngine | None:
+        """The current session's shadow TAG engine (legacy accessor)."""
+        return self._current.baseline_engine if self._current else None
+
+    @property
+    def system_panel(self):
+        """The current session's System Panel (legacy accessor)."""
+        return self._current.system_panel if self._current else None
+
+    @property
+    def plan(self) -> LogicalPlan | None:
+        """The current session's plan (legacy accessor)."""
+        return self._current.plan if self._current else None
+
+    @property
+    def results(self) -> list[EpochResult]:
+        """The current session's result stream (legacy accessor)."""
+        return self._current.results if self._current else []
 
     def stream(self, epochs: int) -> Iterator[EpochResult]:
-        """Run a continuous query, yielding one result per epoch.
+        """Run the current query, yielding one result per epoch.
 
         Panels update as results arrive: the Display Panel re-ranks its
-        bullets, the System Panel samples the savings.
+        bullets, the System Panel samples the savings. Historic-vertical
+        queries are one-shot, not streams — run them via
+        :meth:`run_historic` (or step them on the shared clock with
+        :meth:`step_all`).
         """
-        engine = self._require_engine()
+        session = self._require_current()
+        if session.is_historic:
+            raise PlanError(
+                "historic-vertical queries run via run_historic()")
         for _ in range(epochs):
-            result = engine.run_epoch()
-            if self.baseline_engine is not None:
-                self.baseline_engine.run_epoch()
-            if self.system_panel is not None:
-                self.system_panel.sample()
-            if self.display is not None:
-                self.display.update_ranking(result)
-            self.results.append(result)
-            yield result
+            yield session.step()
 
     def run(self, epochs: int) -> list[EpochResult]:
         """Run and collect (non-streaming convenience)."""
@@ -121,11 +288,9 @@ class KSpotServer:
 
     def run_historic(self, acquisition_epochs: int | None = None
                      ) -> "TjaResult | TputResult":
-        """Execute a historic-vertical query end-to-end.
+        """Execute the current historic-vertical query end-to-end.
 
         Fills the local windows (radio-silent acquisition), then runs
         the one-shot TJA/TPUT execution.
         """
-        engine = self._require_engine()
-        engine.fill_windows(acquisition_epochs)
-        return engine.execute_historic()
+        return self._require_current().run_historic(acquisition_epochs)

@@ -1,0 +1,195 @@
+"""Query sessions: one user's running query over the shared deployment.
+
+The paper's base station serves *many* users' top-k queries over one
+sensor deployment. A :class:`QuerySession` is the per-user execution
+context the :class:`~repro.server.server.KSpotServer` keeps in its
+registry: the compiled plan, the engine instance (with its own view /
+filter state), the session's share of the network traffic, an optional
+shadow-baseline engine feeding a per-session System Panel, and the
+result stream.
+
+Two execution shapes exist, matching the plan's query class:
+
+* **Epoch mode** (MINT / TAG / FILA / NAIVE / CENTRALIZED): every
+  :meth:`QuerySession.step` drives one acquisition round and appends
+  one :class:`~repro.core.results.EpochResult`.
+* **Historic-vertical mode** (TJA / TPUT): each step is one radio-
+  silent acquisition epoch; once the window is full the one-shot
+  distributed execution runs and the session finishes. This lets a
+  historic query ride the same shared epoch clock as concurrent
+  monitoring queries — its samples are the very readings the other
+  sessions already paid for.
+
+Sessions never drive the deployment clock directly. Their engines call
+``network.advance_epoch()`` as always; when the server steps several
+sessions inside ``network.shared_epoch()`` those calls coalesce into a
+single real tick, so each sensor board samples exactly once per epoch
+no matter how many sessions consume the reading.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.results import EpochResult
+from ..errors import PlanError
+from ..gui.stats import SystemPanel
+from ..network.stats import NetworkStats
+from ..query.plan import QueryClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.engine import KSpotEngine
+    from ..core.tja import TjaResult
+    from ..core.tput import TputResult
+    from ..gui.panels import DisplayPanel
+    from ..network.simulator import Network
+    from ..query.plan import LogicalPlan
+
+
+class QuerySession:
+    """One submitted query: plan + engine + per-session accounting."""
+
+    def __init__(self, session_id: int, network: "Network",
+                 plan: "LogicalPlan", engine: "KSpotEngine",
+                 query_text: str,
+                 baseline_engine: "KSpotEngine | None" = None,
+                 display: "DisplayPanel | None" = None):
+        """Args:
+            session_id: Registry key assigned by the server.
+            network: The shared deployment the engine runs on.
+            plan: The compiled logical plan.
+            engine: The engine executing the plan.
+            query_text: The submitted SQL-like text (for listings).
+            baseline_engine: Optional TAG shadow engine on a baseline
+                network; when present the session keeps its own
+                :class:`~repro.gui.stats.SystemPanel`.
+            display: Optional Display Panel re-ranked on every result.
+        """
+        self.session_id = session_id
+        self.network = network
+        self.plan = plan
+        self.engine = engine
+        self.query_text = query_text
+        self.baseline_engine = baseline_engine
+        self.display = display
+        #: This session's share of traffic on the shared deployment
+        #: (mirrored via the network's stats tap while it executes).
+        self.stats = NetworkStats()
+        self.system_panel: SystemPanel | None = None
+        if baseline_engine is not None:
+            self.system_panel = SystemPanel(
+                self.stats, baseline_engine.network.stats)
+        self.results: list[EpochResult] = []
+        #: The one-shot answer of a historic-vertical session.
+        self.historic_result: "TjaResult | TputResult | None" = None
+        self.active = True
+        self._acquired_epochs = 0
+        self._acquisition_target = plan.window_epochs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_historic(self) -> bool:
+        """True for one-shot TJA/TPUT sessions."""
+        return self.plan.query_class is QueryClass.HISTORIC_VERTICAL
+
+    @property
+    def finished(self) -> bool:
+        """True once a historic session has produced its answer."""
+        return self.historic_result is not None
+
+    @property
+    def baseline_network(self) -> "Network | None":
+        """The shadow deployment this session's baseline runs on."""
+        if self.baseline_engine is None:
+            return None
+        return self.baseline_engine.network
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def step(self) -> "EpochResult | TjaResult | TputResult | None":
+        """Advance this session by one epoch of the shared clock.
+
+        Epoch-mode sessions return the epoch's
+        :class:`~repro.core.results.EpochResult`. Historic sessions
+        return None while acquiring and the final
+        ``TjaResult``/``TputResult`` on the epoch that completes the
+        window.
+        """
+        if not self.active:
+            raise PlanError(
+                f"session {self.session_id} is no longer active")
+        if self.is_historic:
+            return self._step_historic()
+        with self.network.tap_stats(self.stats):
+            result = self.engine.run_epoch()
+        if self.baseline_engine is not None:
+            self.baseline_engine.run_epoch()
+        if self.system_panel is not None:
+            self.system_panel.sample()
+        if self.display is not None:
+            self.display.update_ranking(result)
+        self.results.append(result)
+        return result
+
+    def _step_historic(self) -> "TjaResult | TputResult | None":
+        """One acquisition epoch; executes once the window is full.
+
+        Sampling goes through the node-level per-epoch cache, so when
+        monitoring sessions share the deployment the acquisition is
+        free — the board already fired this epoch.
+        """
+        if self._acquisition_target is None:
+            raise PlanError("no window length to fill")
+        self.engine.sample_participants()
+        self._acquired_epochs += 1
+        self.network.advance_epoch()
+        if self._acquired_epochs < self._acquisition_target:
+            return None
+        return self._execute_historic()
+
+    def _execute_historic(self) -> "TjaResult | TputResult":
+        """Run the one-shot distributed execution; finishes the session."""
+        with self.network.tap_stats(self.stats):
+            self.historic_result = self.engine.execute_historic()
+        self.active = False
+        return self.historic_result
+
+    def run_historic(self, acquisition_epochs: int | None = None
+                     ) -> "TjaResult | TputResult":
+        """Drive acquisition to completion and return the answer.
+
+        ``acquisition_epochs`` overrides the plan's window length;
+        with 0 (or when the target is already met) no further sampling
+        or epoch advance happens — the one-shot execution runs straight
+        over the already-buffered windows, exactly like the engine's
+        ``fill_windows(0)`` + ``execute_historic()``.
+        """
+        if not self.is_historic:
+            raise PlanError(
+                "run_historic() is for GROUP BY epoch sessions")
+        if acquisition_epochs is not None:
+            self._acquisition_target = acquisition_epochs
+        if self._acquisition_target is None:
+            raise PlanError("no window length to fill")
+        while (self.historic_result is None
+               and self._acquired_epochs < self._acquisition_target):
+            self.step()
+        if self.historic_result is None:
+            self._execute_historic()
+        return self.historic_result
+
+    def cancel(self) -> None:
+        """Deactivate the session; the server stops stepping it."""
+        self.active = False
+
+    def __repr__(self) -> str:
+        state = ("finished" if self.finished
+                 else "active" if self.active else "cancelled")
+        return (f"QuerySession({self.session_id}, "
+                f"{self.plan.algorithm.value}, {state}, "
+                f"results={len(self.results)})")

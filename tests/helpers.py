@@ -1,0 +1,50 @@
+"""Plain-function helpers shared across test modules.
+
+Kept outside ``conftest.py`` so test modules can import them absolutely
+(``from helpers import ...``): ``tests/`` is not a package, so relative
+imports of the conftest module do not resolve under pytest's default
+rootdir import mode.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def make_series(nodes, epochs, seed=0, lo=0.0, hi=100.0, correlated=False):
+    """A dense node → {epoch → value} matrix for historic tests."""
+    r = random.Random(seed)
+    base = [
+        (lo + hi) / 2 + (hi - lo) / 3 * math.sin(2 * math.pi * t / max(8, epochs // 3))
+        if correlated else 0.0
+        for t in range(epochs)
+    ]
+    series = {}
+    for node in nodes:
+        column = {}
+        for t in range(epochs):
+            if correlated:
+                value = base[t] + r.gauss(0, (hi - lo) * 0.05)
+            else:
+                value = r.uniform(lo, hi)
+            column[t] = min(hi, max(lo, value))
+        series[node] = column
+    return series
+
+
+def vertical_oracle(series, aggregate, k):
+    """Ground truth for historic-vertical rankings."""
+    from repro.core.results import rank_key
+
+    nodes = sorted(series)
+    epochs = sorted(series[nodes[0]])
+    scores = {}
+    for t in epochs:
+        partial = None
+        for node in nodes:
+            lifted = aggregate.from_value(series[node][t])
+            partial = lifted if partial is None else aggregate.merge(partial, lifted)
+        scores[t] = aggregate.finalize(partial)
+    ranked = sorted(scores.items(), key=lambda kv: rank_key(kv[0], kv[1]))
+    return scores, ranked[:k]

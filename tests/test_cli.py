@@ -60,6 +60,86 @@ class TestScenarioWorkflow:
         assert "error:" in capsys.readouterr().err
 
 
+class TestWorkload:
+    MIXED = (
+        "# two monitoring users and one historic analyst\n"
+        "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid "
+        "EPOCH DURATION 1 min\n"
+        "\n"
+        "SELECT TOP 1 roomid, MAX(sound) FROM sensors GROUP BY roomid "
+        "EPOCH DURATION 1 min\n"
+        "tput: SELECT TOP 2 epoch, AVG(sound) FROM sensors "
+        "GROUP BY epoch WITH HISTORY 4 s EPOCH DURATION 1 s\n"
+    )
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "queries.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_mixed_workload_runs_concurrently(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.MIXED)
+        assert main(["workload", path, "--epochs", "6",
+                     "--side", "4", "--rooms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "session 1: routed mint" in out
+        assert "session 3: routed tput (historic_vertical)" in out
+        assert "one-shot" in out
+        # 16 sensors × 6 shared epochs, sampled once each.
+        assert "epoch 6, 96 sensor samples" in out
+
+    def test_baseline_prints_aggregate_savings(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.MIXED)
+        assert main(["workload", path, "--epochs", "4",
+                     "--side", "4", "--rooms", "2", "--baseline"]) == 0
+        assert "aggregate savings" in capsys.readouterr().out
+
+    def test_scenario_file_deployment(self, tmp_path, capsys):
+        scenario = str(tmp_path / "deployment.json")
+        main(["scenario-init", scenario])
+        capsys.readouterr()
+        path = self._write(
+            tmp_path,
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid\n")
+        assert main(["workload", path, "--scenario", scenario,
+                     "--epochs", "2"]) == 0
+        assert "session 1: routed mint" in capsys.readouterr().out
+
+    def test_incompatible_query_rejected_not_fatal(self, tmp_path, capsys):
+        """A bad routing (FILA over cluster ranking) skips that query;
+        everyone else's sessions still run."""
+        path = self._write(
+            tmp_path,
+            "fila: SELECT TOP 2 roomid, MAX(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min\n"
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid "
+            "EPOCH DURATION 1 min\n")
+        assert main(["workload", path, "--epochs", "2",
+                     "--side", "4", "--rooms", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "rejected:" in captured.err
+        # The rejected query never consumed a session id.
+        assert "session 1: routed mint" in captured.out
+        assert "(1 queries rejected)" in captured.out
+
+    def test_all_rejected_is_a_clean_error(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "fila: SELECT TOP 2 roomid, MAX(sound) FROM sensors "
+            "GROUP BY roomid\n")
+        assert main(["workload", path, "--side", "4", "--rooms", "2"]) == 2
+        assert "error: every workload query was rejected" in \
+            capsys.readouterr().err
+
+    def test_missing_and_empty_files_are_clean_errors(self, tmp_path,
+                                                      capsys):
+        assert main(["workload", str(tmp_path / "nope.txt")]) == 2
+        assert "cannot read workload file" in capsys.readouterr().err
+        empty = self._write(tmp_path, "# only comments\n\n")
+        assert main(["workload", empty]) == 2
+        assert "contains no queries" in capsys.readouterr().err
+
+
 class TestSavings:
     def test_savings_table(self, capsys):
         assert main(["savings", "--side", "4", "--rooms", "2",

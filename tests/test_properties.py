@@ -232,7 +232,7 @@ class TestEndToEndExactness:
         from repro.core import Tja
         from repro.scenarios import grid_rooms_scenario
 
-        from .conftest import make_series, vertical_oracle
+        from helpers import make_series, vertical_oracle
 
         scenario = grid_rooms_scenario(side=3, rooms_per_axis=2,
                                        seed=seed % 100)

@@ -7,7 +7,7 @@ from repro.core.aggregates import make_aggregate
 from repro.errors import ValidationError
 from repro.scenarios import grid_rooms_scenario
 
-from .conftest import make_series, vertical_oracle
+from helpers import make_series, vertical_oracle
 
 
 @pytest.fixture
