@@ -1,0 +1,198 @@
+"""E12 — churn-tolerant sessions: correctness and recovery cost.
+
+The churn subsystem (PR: node failure/join lifecycle) promises two
+things, and this benchmark measures both:
+
+1. **Correctness through churn.** Live query sessions survive a seeded
+   :class:`~repro.network.churn.ChurnSchedule` of deaths and births via
+   the detect → quiesce → repair → resume protocol, and once the fleet
+   settles, every session's per-epoch top-k equals a fault-free run
+   deployed over the surviving population from the start (answers are
+   certified-exact either way, so they must agree bit-for-bit).
+
+2. **Sub-linear recovery cost.** Incremental tree repair re-homes only
+   the orphaned subtrees and MINT re-primes only the dirty ancestor
+   paths, so absorbing a *fixed* amount of churn must cost far less
+   than linearly more as the network grows — unlike the restart
+   baseline, which re-creates every view in the deployment.
+"""
+
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
+from repro.network.churn import ChurnEvent, ChurnKind, ChurnSchedule
+from repro.network.simulator import Network
+from repro.network.topology import Topology
+from repro.scenarios import grid_rooms_scenario
+from repro.sensing.board import SensorBoard
+from repro.server import KSpotServer
+
+from conftest import once
+
+QUERIES = [
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 3 roomid, MAX(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+]
+
+EPOCHS = 14
+SEED = 5
+
+
+def make_schedule(network, group_of):
+    """A fixed churn burden, structural not size-dependent: one relay
+    (a sink child with children), one leaf, one deep node die; one mote
+    is born next to the first sensor."""
+    tree = network.tree
+    relay = next(n for n in tree.children(tree.root) if tree.children(n))
+    leaf = next(n for n in tree.sensor_ids
+                if tree.is_leaf(n) and n != relay)
+    deep = max(tree.sensor_ids, key=lambda n: (tree.depth(n), n))
+    anchor = min(n for n in tree.sensor_ids if n not in {relay, leaf, deep})
+    ax, ay = network.topology.positions[anchor]
+    born = max(tree.sensor_ids) + 1
+    victims = []
+    seen = set()
+    for node in (relay, leaf, deep):
+        if node not in seen:
+            victims.append(node)
+            seen.add(node)
+    events = [ChurnEvent(3 + 2 * i, ChurnKind.DEATH, v)
+              for i, v in enumerate(victims)]
+    events.append(ChurnEvent(4, ChurnKind.BIRTH, born,
+                             position=(ax + 3.0, ay + 2.0),
+                             group=group_of.get(anchor)))
+    return ChurnSchedule(sorted(events, key=lambda e: e.epoch))
+
+
+def run_churned(side):
+    """Drive the workload under churn; returns (scenario, server,
+    schedule, per-session answer streams)."""
+    scenario = grid_rooms_scenario(side=side, rooms_per_axis=3, seed=SEED)
+    server = KSpotServer(scenario.network, group_of=scenario.group_of)
+    sids = [server.submit_session(q) for q in QUERIES]
+    schedule = make_schedule(scenario.network, scenario.group_of)
+    for _ in server.stream_all(EPOCHS, churn=schedule,
+                               board_for=scenario.board_for):
+        pass
+    answers = {
+        sid: [(r.epoch, tuple((i.key, i.score) for i in r.items))
+              for r in server.session(sid).results]
+        for sid in sids
+    }
+    return scenario, server, schedule, answers
+
+
+def run_fault_free_survivors(scenario, schedule):
+    """The oracle: the surviving population deployed from epoch 0,
+    no churn, same field — per-epoch answers over the same live set."""
+    network = scenario.network
+    survivors = {
+        n for n in network.nodes
+        if network.nodes[n].alive
+    }
+    positions = {network.sink_id: network.topology.positions[network.sink_id]}
+    group_of = {}
+    boards = {}
+    for node_id in sorted(survivors):
+        positions[node_id] = network.topology.positions[node_id]
+        group = network.nodes[node_id].group
+        if group is not None:
+            group_of[node_id] = group
+        boards[node_id] = SensorBoard({scenario.attribute: scenario.field})
+    topology = Topology(positions=positions,
+                        radio_range=network.topology.radio_range,
+                        sink_id=network.sink_id)
+    oracle_net = Network(topology, boards=boards, group_of=group_of)
+    server = KSpotServer(oracle_net, group_of=group_of)
+    sids = [server.submit_session(q) for q in QUERIES]
+    server.run_all(EPOCHS)
+    return {
+        sid: [(r.epoch, tuple((i.key, i.score) for i in r.items))
+              for r in server.session(sid).results]
+        for sid in sids
+    }
+
+
+def recovery_cost(server, network):
+    """Messages + re-primed states the churn actually cost."""
+    phase = network.stats.by_phase.get("recovery")
+    repair_messages = phase.messages if phase else 0
+    reprimed = sum(s.recovery.reprimed for s in server.sessions.values())
+    return repair_messages + reprimed, repair_messages, reprimed
+
+
+def run_experiment():
+    # -- part 1: answers through churn == fault-free survivor run ------
+    scenario, server, schedule, churned = run_churned(side=6)
+    oracle = run_fault_free_survivors(scenario, schedule)
+    settle = schedule.last_epoch + 1
+    agreements = []
+    for sid, stream in churned.items():
+        tail = [entry for entry in stream if entry[0] >= settle]
+        oracle_tail = [entry for entry in oracle[sid]
+                       if entry[0] >= settle]
+        agreements.append((sid, tail, oracle_tail))
+
+    # -- part 2: recovery cost vs network size -------------------------
+    rows = []
+    costs = {}
+    for side in (4, 6, 8):
+        sc, srv, sched, _ = run_churned(side=side)
+        total, repair, reprimed = recovery_cost(srv, sc.network)
+        sensors = side * side
+        # The restart baseline re-creates every view per event batch.
+        restart = len(sched.events) * sensors * len(QUERIES)
+        costs[sensors] = total
+        rows.append([sensors, len(sched.events), repair, reprimed, total,
+                     restart, f"{total / sensors:.2f}"])
+    return agreements, rows, costs
+
+
+def test_e12_churn_recovery(benchmark, table):
+    agreements, rows, costs = once(benchmark, run_experiment)
+
+    table("E12: recovery cost under a fixed churn burden "
+          f"(3 deaths + 1 birth, {EPOCHS} epochs)",
+          ["sensors", "events", "repair msgs", "re-primed states",
+           "recovery total", "restart baseline", "cost / sensor"],
+          rows)
+
+    # Every live session's settled answers equal the fault-free run
+    # over the surviving population — churn never corrupts a top-k.
+    # (Scores agree to float merge-order noise: the repaired tree sums
+    # the same partials in a different order than the BFS oracle tree.)
+    for sid, tail, oracle_tail in agreements:
+        assert tail, f"session {sid} produced no settled answers"
+        assert len(tail) == len(oracle_tail)
+        for (epoch, items), (o_epoch, o_items) in zip(tail, oracle_tail):
+            assert epoch == o_epoch
+            assert [k for k, _ in items] == [k for k, _ in o_items], (
+                f"session {sid} ranked differently from the fault-free "
+                f"survivor run at epoch {epoch}"
+            )
+            for (_, score), (_, o_score) in zip(items, o_items):
+                assert abs(score - o_score) < 1e-6, (
+                    f"session {sid} diverged from the fault-free "
+                    f"survivor run at epoch {epoch}"
+                )
+
+    # Recovery traffic grows sub-linearly in network size: quadrupling
+    # the fleet (16 → 64 sensors) must far less than quadruple the cost
+    # of absorbing the same churn burden.
+    small, large = costs[16], costs[64]
+    assert small > 0, "churn burden was absorbed for free?"
+    assert large / small < 2.5, (
+        f"recovery cost scaled {large / small:.2f}x over a 4x fleet — "
+        f"not sub-linear"
+    )
+    # And it beats the restart baseline outright at every size.
+    for sensors, _events, _repair, _reprimed, total, restart, _ in rows:
+        assert total < restart, (
+            f"incremental recovery ({total}) should undercut the "
+            f"restart baseline ({restart}) at {sensors} sensors"
+        )
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -50,6 +50,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--algorithm",
                      choices=[a.value for a in Algorithm], default=None,
                      help="override the routed algorithm")
+    _add_churn_arguments(run)
 
     workload = sub.add_parser(
         "workload",
@@ -71,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--baseline", action="store_true",
                           help="run a TAG shadow per top-k session and "
                                "report per-session + aggregate savings")
+    _add_churn_arguments(workload)
 
     init = sub.add_parser("scenario-init",
                           help="write a template scenario file")
@@ -85,6 +87,56 @@ def _build_parser() -> argparse.ArgumentParser:
     savings.add_argument("--epochs", type=int, default=30)
     savings.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_churn_arguments(parser) -> None:
+    from .scenarios import CHURN_PRESETS
+
+    parser.add_argument("--churn", choices=sorted(CHURN_PRESETS),
+                        default=None,
+                        help="subject the deployment to seeded Poisson "
+                             "node churn (deaths + births); live "
+                             "sessions recover and keep answering")
+    parser.add_argument("--churn-seed", type=int, default=0,
+                        help="seed for the churn process")
+
+
+def _make_churn(args, network, attribute, field, group_of,
+                epochs=None):
+    """(schedule, board_for) for ``--churn``, or (None, None).
+
+    ``epochs`` is the horizon the run will actually drive (historic
+    queries run their window length, not ``--epochs``).
+    """
+    if not getattr(args, "churn", None):
+        return None, None
+    from .scenarios import preset_churn
+    from .sensing.board import SensorBoard
+
+    schedule = preset_churn(
+        network.topology, epochs if epochs is not None else args.epochs,
+        preset=args.churn, seed=args.churn_seed,
+        group_for=(group_of or {}).get, field=field)
+    return schedule, lambda _nid: SensorBoard({attribute: field})
+
+
+def _print_churn_summary(network, server) -> None:
+    """Fleet + per-session churn/recovery accounting."""
+    alive = len(network.alive_sensor_ids())
+    total = len(network.nodes)
+    recovery = network.stats.by_phase.get("recovery")
+    line = (f"churn: {total - alive} dead, {alive} alive of {total} "
+            f"ever deployed")
+    if recovery is not None:
+        line += (f"; tree repair traffic {recovery.messages} messages / "
+                 f"{recovery.payload_bytes} bytes")
+    print(line)
+    for sid in sorted(server.sessions):
+        log = server.sessions[sid].recovery
+        if log.records:
+            print(f"  session {sid}: recovered from {log.failures} "
+                  f"failures + {log.joins} joins, re-primed "
+                  f"{log.reprimed} node states")
 
 
 def _print_results(results, stats) -> None:
@@ -125,31 +177,52 @@ def _cmd_demo(args) -> int:
 
 
 def _deploy_from_config(config, seed: int):
-    """Deploy a scenario file's network over a seeded room field."""
+    """(network, field) for a scenario file over a seeded room field."""
     field = RoomField(config.cluster_of or
                       {n: n for n in config.positions},
                       seed=seed)
-    return config.deploy(field)
+    return config.deploy(field), field
 
 
 def _cmd_run(args) -> int:
     config = load_scenario(args.scenario)
-    network = _deploy_from_config(config, args.seed)
+    network, field = _deploy_from_config(config, args.seed)
     server = KSpotServer(network, group_of=config.cluster_of or None)
     algorithm = Algorithm(args.algorithm) if args.algorithm else None
     plan = server.submit(args.query, algorithm=algorithm)
+    # Historic queries run their window length, not --epochs: the
+    # churn schedule must cover the horizon actually driven.
+    horizon = (plan.window_epochs or args.epochs
+               if plan.query_class is QueryClass.HISTORIC_VERTICAL
+               else args.epochs)
+    schedule, board_for = _make_churn(args, network, config.attribute,
+                                      field, config.cluster_of,
+                                      epochs=horizon)
     print(f"scenario: {config.name} ({len(config.positions)} sensors)")
     print(f"routed:   {plan.algorithm.value} ({plan.query_class.value})")
     if plan.query_class is QueryClass.HISTORIC_VERTICAL:
-        result = server.run_historic()
+        if schedule is not None:
+            for _ in server.stream_all(horizon, churn=schedule,
+                                       board_for=board_for):
+                pass
+        result = (server.current_session.historic_result
+                  or server.run_historic())
         rows = [[rank, item.key, item.score]
                 for rank, item in enumerate(result.items, start=1)]
         print(render_table(["rank", "epoch", "score"], rows))
         print(f"candidates: {result.candidates}, "
               f"clean-up rounds: {result.cleanup_rounds}")
     else:
-        results = server.run(args.epochs)
+        if schedule is not None:
+            for _ in server.stream_all(args.epochs, churn=schedule,
+                                       board_for=board_for):
+                pass
+            results = server.results
+        else:
+            results = server.run(args.epochs)
         _print_results(results, network.stats)
+    if schedule is not None:
+        _print_churn_summary(network, server)
     return 0
 
 
@@ -187,10 +260,11 @@ def _cmd_workload(args) -> int:
         config = load_scenario(args.scenario)
 
         def deploy():
-            return _deploy_from_config(config, args.seed)
+            return _deploy_from_config(config, args.seed)[0]
 
-        network = deploy()
+        network, field = _deploy_from_config(config, args.seed)
         group_of = config.cluster_of or None
+        attribute = config.attribute
         factory = deploy
     else:
         def deploy():
@@ -201,6 +275,8 @@ def _cmd_workload(args) -> int:
         scenario = deploy()
         network = scenario.network
         group_of = scenario.group_of
+        field = scenario.field
+        attribute = scenario.attribute
         factory = lambda: deploy().network  # noqa: E731
 
     server = KSpotServer(network, group_of=group_of,
@@ -221,7 +297,10 @@ def _cmd_workload(args) -> int:
         raise KSpotError("every workload query was rejected")
     print()
 
-    for _ in server.stream_all(args.epochs):
+    schedule, board_for = _make_churn(args, network, attribute, field,
+                                      group_of)
+    for _ in server.stream_all(args.epochs, churn=schedule,
+                               board_for=board_for):
         pass
 
     rows = []
@@ -251,6 +330,8 @@ def _cmd_workload(args) -> int:
           f"{stats.messages} messages, {stats.payload_bytes} payload bytes, "
           f"{stats.radio_joules * 1e3:.2f} mJ radio"
           + (f" ({rejected} queries rejected)" if rejected else ""))
+    if schedule is not None:
+        _print_churn_summary(network, server)
     if args.baseline:
         panels = [s.system_panel for s in server.sessions.values()
                   if s.system_panel is not None and s.system_panel.samples]

@@ -186,6 +186,59 @@ class KSpotEngine:
             self._algorithm = self._make_algorithm()
         return self._algorithm
 
+    # ------------------------------------------------------------------
+    # Churn handling
+    # ------------------------------------------------------------------
+
+    def handle_topology_event(self, event) -> int:
+        """React to a node failure / join on the deployed network.
+
+        Joins extend the participant set (newborns enter the query when
+        they carry a board, pass the static WHERE pre-filter, and —
+        for cluster rankings — arrive with a cluster assignment);
+        historic-vertical plans never adopt newborns, whose buffers
+        cannot cover the already-elapsed window. Failures keep the
+        static membership maps (alive-ness is filtered at acquisition)
+        but are forwarded to the routed algorithm so it can invalidate
+        exactly the affected subtree state. Returns the number of node
+        states the algorithm re-primed.
+        """
+        if event.joined:
+            self._adopt_participant(event.node_id)
+        algorithm = self._algorithm
+        if algorithm is None:
+            return 0
+        if event.joined and hasattr(algorithm, "group_of"):
+            algorithm.group_of = dict(self.participants)
+        handler = getattr(algorithm, "handle_topology_event", None)
+        if handler is None:
+            return 0
+        return handler(event)
+
+    def _adopt_participant(self, node_id: int) -> None:
+        """Admit a newborn node into the query, mirroring the static
+        filtering done at compile time."""
+        if self.plan.query_class is QueryClass.HISTORIC_VERTICAL:
+            return
+        node = self.network.node(node_id)
+        if node.board is None:
+            return
+        key = self.plan.group_key
+        if key == "nodeid" or key == "epoch":
+            group: GroupKey = node_id
+        elif node.group is not None:
+            group = node.group
+        else:
+            return
+        where = self.plan.where
+        static_names = {"nodeid", key}
+        if where is not None and not references(where) - static_names:
+            context = {"nodeid": node_id, key: group}
+            if not evaluate(where, context):
+                return
+        self.group_of[node_id] = group
+        self.participants[node_id] = group
+
     def run_epoch(self) -> EpochResult:
         """Drive one epoch of a snapshot / horizontal / aggregate query."""
         if self.plan.query_class is QueryClass.HISTORIC_VERTICAL:

@@ -93,6 +93,9 @@ class Fila:
         exact_values = exact_values or {}
         installed = 0
         for node_id in sorted(self.filters or self.known):
+            node = self.network.nodes.get(node_id)
+            if node is None or not node.alive:
+                continue
             current = self.filters.get(node_id)
             if node_id in chosen:
                 acceptable = (current is not None
@@ -152,8 +155,12 @@ class Fila:
         else:
             with self.network.stats.phase("monitor"):
                 for node_id, value in readings.items():
-                    filter_lo, filter_hi = self.filters[node_id]
-                    if filter_lo <= value <= filter_hi:
+                    # A node with no installed filter (it joined after
+                    # setup) always reports: silence only certifies
+                    # where a filter exists to stay inside.
+                    current = self.filters.get(node_id)
+                    if (current is not None
+                            and current[0] <= value <= current[1]):
                         continue
                     self.network.unicast_to_sink(
                         node_id, FilterReportMessage(
@@ -165,9 +172,9 @@ class Fila:
 
             bounds: dict[int, Bounds] = {}
             for node_id, value in readings.items():
-                filter_lo, filter_hi = self.filters[node_id]
-                if filter_lo <= value <= filter_hi:
-                    bounds[node_id] = Bounds(filter_lo, filter_hi)
+                current = self.filters.get(node_id)
+                if current is not None and current[0] <= value <= current[1]:
+                    bounds[node_id] = Bounds(current[0], current[1])
                 else:
                     bounds[node_id] = Bounds(value, value)
             # FILA certifies set membership: silent nodes keep their
@@ -214,11 +221,15 @@ class Fila:
         # Build the answer from current knowledge.
         bounds = {}
         for node_id, value in readings.items():
-            filter_lo, filter_hi = self.filters[node_id]
             if self.known.get(node_id) == value:
                 bounds[node_id] = Bounds(value, value)
             else:
-                bounds[node_id] = Bounds(filter_lo, filter_hi)
+                current = self.filters.get(node_id)
+                if current is None:
+                    bounds[node_id] = Bounds(self.aggregate.lo,
+                                             self.aggregate.hi)
+                else:
+                    bounds[node_id] = Bounds(current[0], current[1])
         outcome = certify_top_k(bounds, self.k, require_exact_scores=False)
         result = EpochResult(
             epoch=self.network.epoch,
@@ -230,6 +241,18 @@ class Fila:
         )
         self.network.advance_epoch()
         return result
+
+    def handle_topology_event(self, event) -> int:
+        """Drop the dead node's filter and known value; newborns get a
+        filter lazily (their first epoch reports, the repartition step
+        then installs one). Returns the number of filters invalidated.
+        """
+        invalidated = 0
+        if event.failed:
+            if self.filters.pop(event.node_id, None) is not None:
+                invalidated += 1
+            self.known.pop(event.node_id, None)
+        return invalidated
 
     def run(self, epochs: int) -> list[EpochResult]:
         """``epochs`` consecutive monitoring rounds."""

@@ -114,6 +114,7 @@ class Mint:
         self.child_group_totals: dict[int, dict[GroupKey, int]] = {}
         self._quiet_streak = 0
         self.probes_run = 0
+        self._totals_stale = False
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -252,6 +253,7 @@ class Mint:
                 self.group_totals[group] = (
                     self.group_totals.get(group, 0) + count)
         self.created = True
+        self._totals_stale = False
 
     def _sink_bounds(self) -> dict[GroupKey, Bounds]:
         """Certified interval per group from the sink's child caches."""
@@ -355,6 +357,9 @@ class Mint:
             self.network.advance_epoch()
             return result
 
+        if self._totals_stale:
+            self._recount_totals()
+            self._totals_stale = False
         contributions = self._acquire()
         with self.network.stats.phase("update"):
             for node_id in self.network.converge_cast_order():
@@ -435,10 +440,72 @@ class Mint:
             self._quiet_streak = 0
 
     def handle_topology_change(self) -> None:
-        """Nodes died / tree repaired: views must be re-created."""
+        """Nodes died / tree repaired: views must be re-created.
+
+        The blunt fallback — full reset, full re-creation converge-cast
+        next epoch. Subscribed sessions use the surgical
+        :meth:`handle_topology_event` instead.
+        """
         for state in self.states.values():
             state.reset()
         self.created = False
+
+    def handle_topology_event(self, event) -> int:
+        """Invalidate and re-prime only the subtree state churn touched.
+
+        The event's ``dirty`` set is upward-closed (every dirty node's
+        ancestors are dirty too), so resetting exactly those states
+        keeps the per-edge cache invariant: a clean node's parent still
+        caches its last report, while every dirty node re-ships its
+        full pruned view (its empty ``reported`` makes the next delta
+        the whole of V'), re-priming the caches along both the old and
+        the new attachment paths. The sink's per-subtree cardinalities
+        are recounted lazily (once per batch, at the next epoch) from
+        the static group membership of the repaired tree. Returns the
+        number of node states re-primed.
+
+        Args:
+            event: A :class:`~repro.network.events.TopologyEvent`.
+        """
+        if event.failed:
+            self.states.pop(event.node_id, None)
+        elif event.joined:
+            self.states[event.node_id] = MintNodeState()
+        if not self.created:
+            # Creation has not run yet; the first epoch will learn the
+            # repaired topology from scratch anyway.
+            return 0
+        reprimed = 0
+        for node_id in event.dirty:
+            state = self.states.get(node_id)
+            if state is not None:
+                state.reset()
+                reprimed += 1
+        self._totals_stale = True
+        return reprimed
+
+    def _recount_totals(self) -> None:
+        """Re-learn group cardinalities from the repaired tree.
+
+        Group membership is static knowledge (the Configuration Panel's
+        clusters), so the sink can recount each sink-child subtree's
+        per-group totals without any radio traffic.
+        """
+        self.group_totals = {}
+        self.child_group_totals = {}
+        for child in self.network.tree.children(self.network.sink_id):
+            if not self.network.node(child).alive:
+                continue
+            counts: dict[GroupKey, int] = {}
+            for node_id in self.network.tree.subtree(child):
+                if (node_id in self.group_of
+                        and self.network.node(node_id).alive):
+                    group = self.group_of[node_id]
+                    counts[group] = counts.get(group, 0) + 1
+            self.child_group_totals[child] = counts
+            for group, count in counts.items():
+                self.group_totals[group] = (
+                    self.group_totals.get(group, 0) + count)
 
     def run(self, epochs: int) -> list[EpochResult]:
         """Convenience driver: ``epochs`` consecutive rounds."""

@@ -119,6 +119,15 @@ class Tag:
         self.network.advance_epoch()
         return result
 
+    def handle_topology_event(self, event) -> int:
+        """Churn invalidates only the dissemination: TAG keeps no
+        per-subtree caches, so recovery is a single re-flood of the
+        query wave (reaching re-parented and newborn nodes) on the next
+        epoch. Returns the number of states re-primed (always 0)."""
+        del event
+        self._disseminated = False
+        return 0
+
     def run(self, epochs: int) -> list[EpochResult]:
         """``epochs`` consecutive aggregation rounds."""
         return [self.run_epoch() for _ in range(epochs)]

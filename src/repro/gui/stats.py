@@ -49,19 +49,90 @@ class SavingsSample:
         return self._saving(self.radio_joules, self.baseline_radio_joules)
 
 
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One session-level recovery pass after a churn event batch.
+
+    Attributes:
+        epoch: Shared-clock epoch the recovery ran at.
+        failed: Node ids whose failure this pass absorbed.
+        joined: Node ids whose join this pass absorbed.
+        reprimed: Node states the engine invalidated (they re-ship full
+            views on the next epoch — the session's recovery traffic).
+        repair_edges: Tree edges the network's incremental repair
+            created for these events (attach handshakes on the air).
+    """
+
+    epoch: int
+    failed: tuple[int, ...]
+    joined: tuple[int, ...]
+    reprimed: int
+    repair_edges: int
+
+
+@dataclass
+class RecoveryLog:
+    """Per-session churn-recovery accounting (shown on the panel)."""
+
+    records: list[RecoveryRecord] = field(default_factory=list)
+
+    def record(self, entry: RecoveryRecord) -> None:
+        """Append one recovery pass."""
+        self.records.append(entry)
+
+    @property
+    def events(self) -> int:
+        """Total churn events this session recovered from."""
+        return sum(len(r.failed) + len(r.joined) for r in self.records)
+
+    @property
+    def failures(self) -> int:
+        """Node failures absorbed."""
+        return sum(len(r.failed) for r in self.records)
+
+    @property
+    def joins(self) -> int:
+        """Node joins absorbed."""
+        return sum(len(r.joined) for r in self.records)
+
+    @property
+    def reprimed(self) -> int:
+        """Total node states invalidated and re-primed."""
+        return sum(r.reprimed for r in self.records)
+
+    @property
+    def repair_edges(self) -> int:
+        """Total repair edges (attach handshakes) absorbed."""
+        return sum(r.repair_edges for r in self.records)
+
+    def summary(self) -> dict[str, int]:
+        """Headline recovery counters (for printing / JSON)."""
+        return {
+            "events": self.events,
+            "failures": self.failures,
+            "joins": self.joins,
+            "reprimed": self.reprimed,
+            "repair_edges": self.repair_edges,
+        }
+
+
 class SystemPanel:
     """Tracks two stat ledgers and derives the savings series.
 
     The panel observes the stats of the network running the KSpot
     algorithm and the stats of an identical shadow network running the
-    baseline, sampling both once per epoch.
+    baseline, sampling both once per epoch. When the session hands the
+    panel its :class:`RecoveryLog`, the wall display can show how much
+    churn the session has survived next to the savings series.
     """
 
     def __init__(self, system: NetworkStats, baseline: NetworkStats,
-                 baseline_name: str = "tag"):
+                 baseline_name: str = "tag",
+                 recovery: RecoveryLog | None = None):
         self._system = system
         self._baseline = baseline
         self.baseline_name = baseline_name
+        self.recovery = recovery
         self._last_system = system.snapshot()
         self._last_baseline = baseline.snapshot()
         self.samples: list[SavingsSample] = []

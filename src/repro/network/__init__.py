@@ -9,7 +9,10 @@ and joules to the statistics ledgers that the demo's System Panel
 displays.
 """
 
+from .churn import ChurnEvent, ChurnKind, ChurnSchedule
 from .energy import EnergyLedger, EnergyModel
+from .events import TopologyEvent, TopologyEventKind
+from .failures import Failure, FailureSchedule
 from .lifetime import LifetimeReport, simulate_lifetime
 from .link import RadioModel
 from .node import SensorNode
@@ -33,6 +36,13 @@ __all__ = [
     "room_topology",
     "star_topology",
     "RoutingTree",
+    "ChurnEvent",
+    "ChurnKind",
+    "ChurnSchedule",
+    "TopologyEvent",
+    "TopologyEventKind",
+    "Failure",
+    "FailureSchedule",
     "RadioModel",
     "EnergyModel",
     "EnergyLedger",

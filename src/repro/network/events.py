@@ -1,0 +1,69 @@
+"""Typed topology lifecycle events (the churn subsystem's wire format).
+
+Long-lived deployments lose and gain nodes continuously. Every
+lifecycle transition the :class:`~repro.network.simulator.Network`
+performs — a sensor dying, a fresh mote joining — is published to
+subscribers as one immutable :class:`TopologyEvent` stamped with the
+shared epoch clock, so query engines and sessions can invalidate and
+re-prime exactly the state the transition touched instead of
+restarting from scratch.
+
+The event carries everything a subscriber needs to scope its recovery:
+
+* ``node_id`` — the node that died or joined;
+* ``reattached`` — the ``(child, new_parent)`` tree edges the
+  incremental repair created (each one cost a real attach handshake on
+  the air, charged to the ``recovery`` stats phase);
+* ``dirty`` — the closed set of nodes whose cached protocol state can
+  no longer be trusted: every re-parented node plus the ancestor
+  chains of both the old and the new attachment points. The set is
+  upward-closed (the parent of a dirty node is dirty), which is what
+  lets MINT reset only these nodes and still keep every parent-side
+  cache consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TopologyEventKind(enum.Enum):
+    """What happened to the deployment."""
+
+    NODE_FAILED = "node_failed"
+    NODE_JOINED = "node_joined"
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """One lifecycle transition, as published to subscribers.
+
+    Attributes:
+        kind: Failure or join.
+        epoch: Shared epoch clock value when the transition happened.
+        node_id: The node that died or joined.
+        repaired: True when the routing tree was repaired as part of
+            this transition (batched kills defer repair to the last
+            victim, whose event carries the combined repair).
+        reattached: ``(child, new_parent)`` edges the repair created.
+        dirty: Upward-closed set of nodes whose cached per-subtree
+            protocol state must be invalidated and re-primed.
+    """
+
+    kind: TopologyEventKind
+    epoch: int
+    node_id: int
+    repaired: bool = True
+    reattached: tuple[tuple[int, int], ...] = ()
+    dirty: tuple[int, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        """True for a node-failure event."""
+        return self.kind is TopologyEventKind.NODE_FAILED
+
+    @property
+    def joined(self) -> bool:
+        """True for a node-join event."""
+        return self.kind is TopologyEventKind.NODE_JOINED

@@ -1,20 +1,25 @@
-"""Failure injection for robustness experiments.
+"""Failure injection for robustness experiments (deaths-only view).
 
 Sensor deployments lose nodes — batteries die, hardware fails. A
 :class:`FailureSchedule` scripts deterministic node deaths against the
 simulator so tests and benchmarks can check that the routing tree
 repairs itself and the top-k algorithms keep answering correctly over
 the surviving population.
+
+This is the historical, deaths-only API; it is now a thin view over
+the general churn subsystem (:mod:`repro.network.churn`), which also
+scripts node *births* and Poisson-generated fleets. The sink is never
+in the victim pool.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..errors import ConfigurationError
+from .churn import ChurnKind, ChurnSchedule
 from .simulator import Network
+from .topology import SINK_ID
 
 
 @dataclass(frozen=True)
@@ -34,22 +39,24 @@ class FailureSchedule:
     @classmethod
     def random_deaths(cls, node_ids: Iterable[int], count: int,
                       epochs: int, seed: int = 0,
-                      first_epoch: int = 1) -> "FailureSchedule":
-        """``count`` distinct nodes dying at random epochs in
-        ``[first_epoch, epochs)``."""
-        pool = sorted(node_ids)
-        if count > len(pool):
-            raise ConfigurationError(
-                f"cannot kill {count} of {len(pool)} nodes"
-            )
-        if first_epoch >= epochs and count > 0:
-            raise ConfigurationError("no epoch available for failures")
-        rng = random.Random(seed)
-        victims = rng.sample(pool, count)
-        deaths = sorted(
-            (rng.randrange(first_epoch, epochs), v) for v in victims
-        )
-        return cls([Failure(epoch, node) for epoch, node in deaths])
+                      first_epoch: int = 1,
+                      sink_id: int = SINK_ID) -> "FailureSchedule":
+        """``count`` distinct non-sink nodes dying at random epochs in
+        ``[first_epoch, epochs)``. The sink is excluded from the victim
+        pool — it is the mains-powered base station."""
+        churn = ChurnSchedule.random_deaths(
+            node_ids, count, epochs, seed=seed, first_epoch=first_epoch,
+            sink_id=sink_id)
+        return cls([Failure(e.epoch, e.node_id) for e in churn.events])
+
+    def as_churn(self) -> ChurnSchedule:
+        """This schedule as a (deaths-only) :class:`ChurnSchedule`."""
+        from .churn import ChurnEvent
+
+        return ChurnSchedule([
+            ChurnEvent(f.epoch, ChurnKind.DEATH, f.node_id)
+            for f in self.failures
+        ])
 
     def due(self, epoch: int) -> tuple[Failure, ...]:
         """Failures scheduled for exactly this epoch."""
@@ -58,12 +65,8 @@ class FailureSchedule:
     def apply(self, network: Network, epoch: int) -> tuple[int, ...]:
         """Kill every node due at ``epoch``; returns the victims.
 
-        The tree is repaired once after the batch, not per victim.
+        Delegates to the churn subsystem's batch application, so the
+        tree is repaired once after the batch, not per victim.
         """
-        victims = [f.node_id for f in self.due(epoch)
-                   if network.node(f.node_id).alive]
-        for node_id in victims[:-1]:
-            network.kill_node(node_id, repair=False)
-        if victims:
-            network.kill_node(victims[-1], repair=True)
-        return tuple(victims)
+        applied = self.as_churn().apply(network, epoch)
+        return tuple(e.node_id for e in applied)

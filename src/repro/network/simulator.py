@@ -26,8 +26,9 @@ from typing import Callable, Hashable, Iterable, Iterator, Mapping
 from ..errors import ConfigurationError, RoutingError, TopologyError
 from ..sensing.board import SensorBoard
 from .energy import EnergyLedger, EnergyModel
+from .events import TopologyEvent, TopologyEventKind
 from .link import RadioModel
-from .messages import WireMessage
+from .messages import ControlMessage, WireMessage
 from .node import SensorNode
 from .packets import fragment
 from .stats import NetworkStats
@@ -81,6 +82,7 @@ class Network:
         self._clock_holds = 0
         self._advance_requested = False
         self._stat_taps: list[NetworkStats] = []
+        self._subscribers: list[Callable[[TopologyEvent], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -288,17 +290,140 @@ class Network:
                     break
 
     # ------------------------------------------------------------------
-    # Failure injection
+    # Node lifecycle (churn)
     # ------------------------------------------------------------------
 
+    def subscribe(self, callback: Callable[[TopologyEvent], None]) -> None:
+        """Register a listener for node failure / join lifecycle events.
+
+        Every :meth:`kill_node` and :meth:`join_node` publishes one
+        :class:`~repro.network.events.TopologyEvent` stamped with the
+        current epoch; the server forwards them to live query sessions
+        so engines invalidate and re-prime only the affected subtrees.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TopologyEvent], None]) -> None:
+        """Remove a lifecycle listener (missing callbacks are ignored)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def _emit(self, event: TopologyEvent) -> None:
+        for callback in tuple(self._subscribers):
+            callback(event)
+
+    def _energy_spent(self, node_id: int) -> float:
+        return self.ledger(node_id).total
+
     def kill_node(self, node_id: int, repair: bool = True) -> None:
-        """Kill a sensor and, by default, repair the routing tree."""
+        """Kill a sensor and, by default, repair the routing tree.
+
+        The repair is *incremental*: orphaned subtrees re-attach at
+        their best surviving radio neighbour (residual-energy-aware),
+        each new edge paying one attach handshake charged to the
+        ``recovery`` stats phase. With ``repair=False`` the tree is
+        left broken — batch schedules kill several victims and repair
+        once on the last. A typed ``NODE_FAILED`` event is published
+        either way.
+        """
         if node_id == self.sink_id:
-            raise TopologyError("the sink cannot be killed")
+            raise ConfigurationError(
+                "the sink cannot be killed: it is the mains-powered base "
+                "station every query routes to"
+            )
+        former_parent = (self.tree.parent(node_id)
+                         if node_id in self.tree.node_ids else None)
         self.node(node_id).kill()
+        reattached: tuple[tuple[int, int], ...] = ()
+        detached: tuple[int, ...] = ()
+        dirty: set[int] = set()
         if repair:
             dead = [i for i, n in self.nodes.items() if not n.alive]
-            self.tree = self.tree.without(dead, self.topology)
+            self.tree, report = self.tree.repaired(
+                dead, self.topology, energy_of=self._energy_spent,
+                detach_unreachable=True)
+            reattached = report.reattached
+            detached = report.detached
+            # Partitioned survivors keep sensing, but the deployment
+            # can no longer hear them: they leave the fleet too.
+            for lost in detached:
+                self.nodes[lost].kill()
+            with self.stats.phase("recovery"):
+                for child, parent in reattached:
+                    self._ship(child, (parent,),
+                               ControlMessage(label="attach"))
+            in_tree = set(self.tree.node_ids)
+            for child, parent in reattached:
+                dirty.add(child)
+                dirty.update(self.tree.path_to_root(parent))
+            if former_parent in in_tree:
+                dirty.update(self.tree.path_to_root(former_parent))
+        dirty.discard(self.sink_id)
+        self._emit(TopologyEvent(
+            kind=TopologyEventKind.NODE_FAILED,
+            epoch=self.epoch,
+            node_id=node_id,
+            repaired=repair,
+            reattached=reattached,
+            dirty=tuple(sorted(dirty)),
+        ))
+        for lost in detached:
+            self._emit(TopologyEvent(
+                kind=TopologyEventKind.NODE_FAILED,
+                epoch=self.epoch,
+                node_id=lost,
+                repaired=True,
+            ))
+
+    def join_node(self, node_id: int, position: tuple[float, float],
+                  board: SensorBoard | None = None,
+                  group: Hashable = None) -> int:
+        """Deploy one more mote mid-run; returns its chosen parent.
+
+        The joiner is placed in the topology, attaches to the alive
+        in-range tree node that has spent the least energy (ties break
+        toward the shallower, then smaller-id candidate), pays one join
+        handshake on the ``recovery`` stats phase, and a ``NODE_JOINED``
+        event is published. A previously killed node id may rejoin —
+        fresh battery, empty history — but an alive id is refused.
+        """
+        if node_id == self.sink_id:
+            raise ConfigurationError("the sink is already deployed")
+        existing = self.nodes.get(node_id)
+        if existing is not None and existing.alive:
+            raise ConfigurationError(
+                f"node {node_id} is already deployed and alive")
+        self.topology.add_node(node_id, position)
+        in_tree = set(self.tree.node_ids)
+        candidates = [
+            neighbor for neighbor in self.topology.neighbors(node_id)
+            if neighbor in in_tree
+            and (neighbor == self.sink_id or self.nodes[neighbor].alive)
+        ]
+        if not candidates:
+            self.topology.remove_node(node_id)
+            raise TopologyError(
+                f"node {node_id} at {position} hears no alive node; "
+                f"place it within radio range of the deployment"
+            )
+        parent = min(candidates, key=lambda n: (
+            self._energy_spent(n), self.tree.depth(n), n))
+        self.tree = self.tree.attach(node_id, parent)
+        self.nodes[node_id] = SensorNode(node_id, board=board, group=group)
+        with self.stats.phase("recovery"):
+            self._ship(node_id, (parent,), ControlMessage(label="join"))
+        dirty = {node_id, *self.tree.path_to_root(parent)}
+        dirty.discard(self.sink_id)
+        self._emit(TopologyEvent(
+            kind=TopologyEventKind.NODE_JOINED,
+            epoch=self.epoch,
+            node_id=node_id,
+            repaired=True,
+            reattached=((node_id, parent),),
+            dirty=tuple(sorted(dirty)),
+        ))
+        return parent
 
     def bottleneck_energy(self) -> tuple[int, float]:
         """(node id, joules) of the most drained sensor — the lifetime limit."""

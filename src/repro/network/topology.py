@@ -92,6 +92,19 @@ class Topology:
                     frontier.append(nxt)
         return seen
 
+    def add_node(self, node_id: int, position: tuple[float, float]) -> None:
+        """Place a node (join injection); re-placing the sink is refused.
+
+        A node id that already has a position is moved — how a killed
+        mote re-enters the field at a fresh spot when it rejoins.
+        """
+        if node_id == self.sink_id:
+            raise TopologyError("the sink is already deployed")
+        if node_id < 0:
+            raise TopologyError("node ids must be non-negative")
+        self.positions[node_id] = (float(position[0]), float(position[1]))
+        self._rebuild_adjacency()
+
     def remove_node(self, node_id: int) -> None:
         """Delete a node (failure injection); the sink cannot be removed."""
         if node_id == self.sink_id:

@@ -11,10 +11,32 @@ repair after node failures.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
 
 from ..errors import TopologyError
 from .topology import Topology
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What an incremental repair actually did.
+
+    Attributes:
+        dead: Nodes removed from the tree.
+        orphaned: Survivors that lost their upstream path and had to be
+            re-homed (the dead nodes' descendants, transitively).
+        reattached: ``(child, new_parent)`` edges the repair created —
+            each one is a real attach handshake on the air, so this
+            tuple is the repair's message bill.
+    """
+
+    dead: tuple[int, ...]
+    orphaned: tuple[int, ...]
+    reattached: tuple[tuple[int, int], ...]
+    #: Survivors with no radio path back to the sink (only populated
+    #: when the repair was asked to detach them instead of raising).
+    detached: tuple[int, ...] = ()
 
 
 class RoutingTree:
@@ -178,6 +200,115 @@ class RoutingTree:
         while path[-1] != self._root:
             path.append(self.parent(path[-1]))
         return tuple(path)
+
+    def attach(self, node_id: int, parent_id: int) -> "RoutingTree":
+        """A new tree with ``node_id`` attached as a leaf of ``parent_id``.
+
+        The incremental join primitive: one new edge, every existing
+        parent/child relation untouched.
+        """
+        if node_id in self._children:
+            raise TopologyError(f"node {node_id} is already in the tree")
+        if parent_id not in self._children:
+            raise TopologyError(f"unknown parent {parent_id}")
+        return RoutingTree(self._root,
+                           {**self._parents, node_id: parent_id})
+
+    def repaired(self, dead: Iterable[int], topology: Topology,
+                 energy_of: Callable[[int], float] | None = None,
+                 detach_unreachable: bool = False,
+                 ) -> "tuple[RoutingTree, RepairReport]":
+        """Incremental repair: re-home orphaned subtrees, keep the rest.
+
+        Unlike :meth:`without` (a full BFS rebuild that may reshuffle
+        every parent pointer in the network), this touches only the
+        subtrees the deaths actually orphaned: each orphaned component
+        is re-rooted at the node with a radio link into the surviving
+        tree and re-attached there, so the repair's message bill is
+        proportional to the damage, not to the network size.
+
+        New parents are chosen *residual-energy-aware*: among the
+        attached in-range candidates the one that has spent the fewest
+        joules (``energy_of``) wins, ties breaking toward the shallower
+        and then the smaller-id node — dying deployments should not
+        pile orphans onto their most drained relays.
+
+        Returns the repaired tree plus a :class:`RepairReport`.
+        Survivors with no radio path back to the sink raise
+        :class:`TopologyError` — unless ``detach_unreachable`` is set,
+        in which case they are dropped from the tree and reported in
+        ``RepairReport.detached`` (a partitioned mote keeps sensing,
+        but the deployment can no longer hear it).
+        """
+        dead_set = {d for d in dead if d in self._children}
+        if self._root in dead_set:
+            raise TopologyError("the sink cannot die")
+        spent = energy_of or (lambda _node: 0.0)
+        parents = {child: parent
+                   for child, parent in self._parents.items()
+                   if child not in dead_set}
+        survivors = set(parents) | {self._root}
+
+        def attached_and_depths() -> tuple[set[int], dict[int, int]]:
+            children: dict[int, list[int]] = {i: [] for i in survivors}
+            for child, parent in parents.items():
+                if parent in survivors:
+                    children[parent].append(child)
+            depths = {self._root: 0}
+            frontier = deque([self._root])
+            while frontier:
+                current = frontier.popleft()
+                for child in children[current]:
+                    if child not in depths:
+                        depths[child] = depths[current] + 1
+                        frontier.append(child)
+            return set(depths), depths
+
+        attached, depths = attached_and_depths()
+        orphaned = survivors - attached
+        orphaned_initially = tuple(sorted(orphaned))
+        reattached: list[tuple[int, int]] = []
+        detached: list[int] = []
+        while orphaned:
+            best: tuple[tuple[float, int, int, int], int, int] | None = None
+            for node in sorted(orphaned):
+                for neighbor in topology.neighbors(node):
+                    if neighbor not in attached:
+                        continue
+                    key = (spent(neighbor), depths[neighbor], neighbor, node)
+                    if best is None or key < best[0]:
+                        best = (key, node, neighbor)
+            if best is None:
+                if not detach_unreachable:
+                    raise TopologyError(
+                        f"nodes unreachable from the sink after failures: "
+                        f"{sorted(orphaned)}"
+                    )
+                detached.extend(sorted(orphaned))
+                for node in orphaned:
+                    parents.pop(node, None)
+                break
+            _, node, new_parent = best
+            # Re-root the orphaned component at ``node``: the chain from
+            # ``node`` up to its old component root reverses direction,
+            # then ``node`` hangs off the surviving tree.
+            chain = [node]
+            while (chain[-1] in parents and parents[chain[-1]] in orphaned
+                   and parents[chain[-1]] not in chain):
+                chain.append(parents[chain[-1]])
+            for upper, lower in zip(chain[1:], chain):
+                parents[upper] = lower
+                reattached.append((upper, lower))
+            parents[node] = new_parent
+            reattached.append((node, new_parent))
+            attached, depths = attached_and_depths()
+            orphaned = survivors - attached
+        tree = RoutingTree(self._root, parents)
+        report = RepairReport(dead=tuple(sorted(dead_set)),
+                              orphaned=orphaned_initially,
+                              reattached=tuple(reattached),
+                              detached=tuple(detached))
+        return tree, report
 
     def without(self, dead: Iterable[int], topology: Topology) -> "RoutingTree":
         """Repair the tree after nodes die.

@@ -80,6 +80,16 @@ class Scenario:
         """Convenience: (node, epoch) → raw field value."""
         return self.field.value
 
+    def board_for(self, node_id: int) -> SensorBoard:
+        """A sensor board for a newborn node, sensing this scenario's
+        field (the ``board_for`` hook churn schedules need)."""
+        del node_id
+        return SensorBoard({self.attribute: self.field})
+
+    def churn_group_for(self, anchor: int) -> Hashable:
+        """The cluster a mote dropped next to ``anchor`` belongs to."""
+        return self.group_of.get(anchor)
+
 
 def _boards_for(node_ids, attribute: str, field: FieldGenerator,
                 quantize: bool = True) -> dict[int, SensorBoard]:
@@ -170,6 +180,63 @@ def grid_rooms_scenario(side: int = 8, rooms_per_axis: int = 4,
     )
     return Scenario(network=network, group_of=room_of,
                     attribute=attribute, field=field)
+
+
+#: Churn presets: name → (expected deaths per epoch, births per epoch).
+#: "calm" is a healthy building deployment (occasional battery death),
+#: "lively" a maintained fleet with swaps, "harsh" a field deployment
+#: shedding and gaining motes continuously.
+CHURN_PRESETS: dict[str, tuple[float, float]] = {
+    "calm": (0.05, 0.0),
+    "lively": (0.15, 0.10),
+    "harsh": (0.35, 0.15),
+}
+
+
+def preset_churn(topology, epochs: int, preset: str = "lively",
+                 seed: int = 0, group_for=None, field=None,
+                 first_epoch: int = 1):
+    """A seeded Poisson :class:`~repro.network.churn.ChurnSchedule`
+    from a named preset's death/birth rates.
+
+    Newborn motes inherit the cluster of the node they are dropped
+    next to (via ``group_for``), so GROUP BY roomid queries adopt them
+    seamlessly — and when ``field`` supports enrollment (RoomField,
+    ZipfEventField) they are enrolled into it, so they *sense* that
+    cluster's activity too, like any mote deployed there from day one.
+    """
+    from .network.churn import ChurnSchedule
+
+    try:
+        death_rate, birth_rate = CHURN_PRESETS[preset]
+    except KeyError:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown churn preset {preset!r}; "
+            f"choose from {sorted(CHURN_PRESETS)}"
+        ) from None
+    schedule = ChurnSchedule.poisson(
+        topology, epochs,
+        death_rate=death_rate, birth_rate=birth_rate,
+        seed=seed, first_epoch=first_epoch, group_for=group_for,
+    )
+    enroll = getattr(field, "enroll", None)
+    if enroll is not None:
+        for event in schedule.births:
+            if event.group is not None:
+                enroll(event.node_id, event.group)
+    return schedule
+
+
+def churn_schedule(scenario: Scenario, epochs: int,
+                   preset: str = "lively", seed: int = 0,
+                   first_epoch: int = 1):
+    """:func:`preset_churn` over a :class:`Scenario`'s deployment."""
+    return preset_churn(scenario.network.topology, epochs,
+                        preset=preset, seed=seed,
+                        group_for=scenario.churn_group_for,
+                        field=scenario.field, first_epoch=first_epoch)
 
 
 def random_rooms_scenario(rooms: int = 6, sensors_per_room: int = 3,

@@ -180,6 +180,13 @@ class ZipfEventField(FieldGenerator):
         """The expected magnitude of a group (before jitter)."""
         return self._level[group]
 
+    def enroll(self, node_id: int, group: int) -> None:
+        """Admit a newborn node into an existing group's event field
+        (churn births); unknown groups are a configuration error."""
+        if group not in self._level:
+            raise ConfigurationError(f"unknown group {group!r}")
+        self._group_of[node_id] = group
+
     def value(self, node_id: int, epoch: int) -> float:
         group = self._group_of.get(node_id)
         if group is None:
@@ -222,6 +229,15 @@ class RoomField(FieldGenerator):
     def room_level(self, room: str | int, epoch: int) -> float:
         """Ground-truth activity level of a room at an epoch."""
         return self._room_walks[room].value(0, epoch)
+
+    def enroll(self, node_id: int, room: str | int) -> None:
+        """Admit a newborn node into an existing room (churn births):
+        it reads that room's activity level plus its own noise, like
+        any mote deployed there from the start. Unknown rooms are a
+        configuration error (room walks are fixed at construction)."""
+        if room not in self._room_walks:
+            raise ConfigurationError(f"unknown room {room!r}")
+        self._room_of[node_id] = room
 
     def value(self, node_id: int, epoch: int) -> float:
         room = self._room_of.get(node_id)

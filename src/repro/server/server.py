@@ -38,6 +38,7 @@ from ..core.tja import TjaResult
 from ..core.tput import TputResult
 from ..errors import PlanError, ValidationError
 from ..gui.panels import DisplayPanel
+from ..network.churn import ChurnSchedule
 from ..network.simulator import Network
 from ..query.plan import Algorithm, LogicalPlan, QueryClass, compile_query
 from ..query.validator import Schema
@@ -82,6 +83,14 @@ class KSpotServer:
         self.sessions: dict[int, QuerySession] = {}
         self._next_session_id = 1
         self._current: QuerySession | None = None
+        # Churn detection: every node failure / join on the deployment
+        # is forwarded to the live sessions, which recover at their
+        # next step (see QuerySession's recovery protocol).
+        network.subscribe(self._on_topology_event)
+
+    def _on_topology_event(self, event) -> None:
+        for session in self.sessions.values():
+            session.on_topology_event(event)
 
     @staticmethod
     def _derive_schema(network: Network) -> Schema:
@@ -209,20 +218,38 @@ class KSpotServer:
                 outcomes[session.session_id] = session.step()
         return outcomes
 
-    def stream_all(self, epochs: int
+    def stream_all(self, epochs: int, churn: "ChurnSchedule | None" = None,
+                   board_for: Callable[[int], object] | None = None,
                    ) -> "Iterator[dict[int, EpochResult | TjaResult | TputResult | None]]":
         """Yield :meth:`step_all` outcomes for up to ``epochs`` epochs,
-        stopping early once no session remains active."""
+        stopping early once no session remains active.
+
+        With a :class:`~repro.network.churn.ChurnSchedule`, the events
+        due at the current shared-clock epoch are applied *before* the
+        epoch runs — sessions detect them, recover, and answer over the
+        surviving population. ``board_for`` supplies newborn boards.
+
+        Churn applies to *this* deployment only: sessions' TAG shadow
+        networks keep their full fleet, so System-Panel savings under
+        churn compare against what the baseline would cost on an
+        intact deployment (an upper bound on the baseline), not
+        against a baseline suffering the same losses.
+        """
         for _ in range(epochs):
             if not self.active_sessions():
                 return
+            if churn is not None:
+                churn.apply(self.network, self.network.epoch,
+                            board_for=board_for)
             yield self.step_all()
 
-    def run_all(self, epochs: int) -> dict[int, list[EpochResult]]:
+    def run_all(self, epochs: int, churn: "ChurnSchedule | None" = None,
+                board_for: Callable[[int], object] | None = None,
+                ) -> dict[int, list[EpochResult]]:
         """Drive every session ``epochs`` shared epochs and collect the
         per-session result streams (historic answers land on
         ``session.historic_result``)."""
-        for _ in self.stream_all(epochs):
+        for _ in self.stream_all(epochs, churn=churn, board_for=board_for):
             pass
         return {sid: list(self.sessions[sid].results)
                 for sid in sorted(self.sessions)}

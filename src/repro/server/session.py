@@ -25,6 +25,27 @@ Sessions never drive the deployment clock directly. Their engines call
 sessions inside ``network.shared_epoch()`` those calls coalesce into a
 single real tick, so each sensor board samples exactly once per epoch
 no matter how many sessions consume the reading.
+
+**Churn recovery.** Live sessions survive node failures and joins via
+a four-step protocol rather than a restart:
+
+1. *detect* — the server forwards every
+   :class:`~repro.network.events.TopologyEvent` the network publishes
+   to each live session, which queues it;
+2. *quiesce* — at the next step, before any acquisition, the session
+   replays the queued events into its engine, which resets exactly the
+   affected subtree state (MINT view caches, FILA filters), so no
+   stale delta can transmit over the repaired tree;
+3. *repair* — the routing tree itself was already re-wired
+   incrementally by the network (orphans re-parented energy-aware,
+   one attach handshake per new edge, charged to the ``recovery``
+   stats phase);
+4. *resume* — the epoch then runs normally; invalidated nodes re-ship
+   full views, re-priming the caches, and answers are certified-exact
+   over the surviving population again.
+
+Every pass is appended to the session's
+:class:`~repro.gui.stats.RecoveryLog`, which its System Panel exposes.
 """
 
 from __future__ import annotations
@@ -33,7 +54,8 @@ from typing import TYPE_CHECKING
 
 from ..core.results import EpochResult
 from ..errors import PlanError
-from ..gui.stats import SystemPanel
+from ..gui.stats import RecoveryLog, RecoveryRecord, SystemPanel
+from ..network.events import TopologyEvent
 from ..network.stats import NetworkStats
 from ..query.plan import QueryClass
 
@@ -75,10 +97,15 @@ class QuerySession:
         #: This session's share of traffic on the shared deployment
         #: (mirrored via the network's stats tap while it executes).
         self.stats = NetworkStats()
+        #: Churn-recovery accounting: one record per absorbed event
+        #: batch (exposed on the session's System Panel when present).
+        self.recovery = RecoveryLog()
+        self._pending_events: list[TopologyEvent] = []
         self.system_panel: SystemPanel | None = None
         if baseline_engine is not None:
             self.system_panel = SystemPanel(
-                self.stats, baseline_engine.network.stats)
+                self.stats, baseline_engine.network.stats,
+                recovery=self.recovery)
         self.results: list[EpochResult] = []
         #: The one-shot answer of a historic-vertical session.
         self.historic_result: "TjaResult | TputResult | None" = None
@@ -108,6 +135,37 @@ class QuerySession:
         return self.baseline_engine.network
 
     # ------------------------------------------------------------------
+    # Churn recovery
+    # ------------------------------------------------------------------
+
+    def on_topology_event(self, event: TopologyEvent) -> None:
+        """Detect: queue a lifecycle event for recovery at the next step."""
+        if self.active:
+            self._pending_events.append(event)
+
+    def _recover_pending(self) -> None:
+        """Quiesce + re-prime: replay queued events into the engine.
+
+        Runs before the epoch's acquisition so stale subtree state
+        never transmits over the repaired tree. The pass is recorded in
+        :attr:`recovery`; the re-primed nodes' full-view resends ride
+        the next epoch's normal converge-cast.
+        """
+        if not self._pending_events:
+            return
+        events, self._pending_events = self._pending_events, []
+        reprimed = 0
+        for event in events:
+            reprimed += self.engine.handle_topology_event(event)
+        self.recovery.record(RecoveryRecord(
+            epoch=self.network.epoch,
+            failed=tuple(e.node_id for e in events if e.failed),
+            joined=tuple(e.node_id for e in events if e.joined),
+            reprimed=reprimed,
+            repair_edges=sum(len(e.reattached) for e in events),
+        ))
+
+    # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
 
@@ -123,6 +181,7 @@ class QuerySession:
         if not self.active:
             raise PlanError(
                 f"session {self.session_id} is no longer active")
+        self._recover_pending()
         if self.is_historic:
             return self._step_historic()
         with self.network.tap_stats(self.stats):

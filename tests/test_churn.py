@@ -1,0 +1,398 @@
+"""Churn subsystem: lifecycle hooks, typed events, tree invariants.
+
+The hypothesis suites check the invariants the whole recovery story
+leans on: after *any* sequence of kills and joins the routing tree is
+still a tree — connected, acyclic, rooted at the sink, one parent per
+alive sensor, every edge within radio range — and concurrent sessions
+still agree with serial ones under identical churn.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import make_aggregate
+from repro.core.results import is_valid_top_k, oracle_scores
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.churn import ChurnEvent, ChurnKind, ChurnSchedule
+from repro.network.events import TopologyEvent, TopologyEventKind
+from repro.network.failures import Failure, FailureSchedule
+from repro.network.simulator import Network
+from repro.network.topology import grid_topology
+from repro.scenarios import (
+    CHURN_PRESETS,
+    churn_schedule,
+    grid_rooms_scenario,
+)
+from repro.sensing.modalities import get_modality
+from repro.server import KSpotServer
+
+
+def assert_tree_invariants(network):
+    """The routing tree is a tree over exactly the alive population."""
+    tree = network.tree
+    topology = network.topology
+    alive = {n for n, node in network.nodes.items() if node.alive}
+    assert set(tree.node_ids) == alive | {network.sink_id}
+    for node_id in tree.sensor_ids:
+        parent = tree.parent(node_id)  # exactly one parent, by dict
+        assert parent in tree.node_ids
+        # Every tree edge is a usable radio link.
+        assert (topology.distance(node_id, parent)
+                <= topology.radio_range + 1e-9)
+        # Acyclic and rooted: the parent chain reaches the sink in at
+        # most |tree| hops, and depths agree with it.
+        path = tree.path_to_root(node_id)
+        assert len(path) <= len(tree.node_ids)
+        assert path[-1] == network.sink_id
+        assert tree.depth(node_id) == len(path) - 1
+
+
+class TestLifecycleHooks:
+    def test_kill_sink_is_a_configuration_error(self):
+        net = Network(grid_topology(3))
+        with pytest.raises(ConfigurationError):
+            net.kill_node(net.sink_id)
+
+    def test_join_out_of_range_refused_and_rolled_back(self):
+        net = Network(grid_topology(3))
+        with pytest.raises(TopologyError):
+            net.join_node(99, (1e6, 1e6))
+        assert 99 not in net.topology.positions
+        assert 99 not in net.tree.node_ids
+
+    def test_join_alive_id_refused(self):
+        net = Network(grid_topology(3))
+        with pytest.raises(ConfigurationError):
+            net.join_node(1, (5.0, 5.0))
+
+    def test_dead_node_may_rejoin_fresh(self):
+        net = Network(grid_topology(3))
+        net.kill_node(5)
+        parent = net.join_node(5, (12.0, 8.0))
+        assert net.node(5).alive
+        assert net.tree.parent(5) == parent
+        assert_tree_invariants(net)
+
+    def test_join_prefers_least_drained_parent(self):
+        net = Network(grid_topology(2))
+        # Drain one sink neighbour; the joiner placed between the two
+        # must pick the fresher one.
+        from repro.network.messages import ControlMessage
+
+        a, b = net.tree.children(net.sink_id)[:2]
+        net.send_up(a, ControlMessage(label="drain", size=64))
+        midpoint = tuple(
+            (net.topology.positions[a][i] + net.topology.positions[b][i]) / 2
+            for i in (0, 1))
+        parent = net.join_node(99, midpoint)
+        assert parent != a
+
+    def test_events_published_with_dirty_closure(self):
+        net = Network(grid_topology(3))
+        seen: list[TopologyEvent] = []
+        net.subscribe(seen.append)
+        victim = next(n for n in net.tree.sensor_ids
+                      if net.tree.children(n))
+        net.kill_node(victim)
+        net.join_node(42, (11.0, 11.0))
+        assert [e.kind for e in seen] == [TopologyEventKind.NODE_FAILED,
+                                          TopologyEventKind.NODE_JOINED]
+        failure, join = seen
+        assert failure.node_id == victim and failure.failed
+        assert join.node_id == 42 and join.joined
+        assert join.reattached and join.reattached[0][0] == 42
+        # dirty sets are upward-closed: each dirty node's parent is
+        # dirty too (or the sink).
+        for event in seen:
+            for node_id in event.dirty:
+                parent = net.tree.parent(node_id)
+                assert parent == net.sink_id or parent in event.dirty
+
+    def test_unsubscribe_stops_delivery(self):
+        net = Network(grid_topology(3))
+        seen: list[TopologyEvent] = []
+        net.subscribe(seen.append)
+        net.unsubscribe(seen.append)
+        net.kill_node(1)
+        assert seen == []
+
+    def test_partitioned_survivors_are_detached(self):
+        from repro.network.topology import linear_topology
+
+        net = Network(linear_topology(3))
+        seen: list[TopologyEvent] = []
+        net.subscribe(seen.append)
+        net.kill_node(2)
+        # Node 3 only heard the sink through 2: it is alive hardware
+        # the deployment can no longer reach, so it leaves the fleet.
+        assert not net.node(3).alive
+        assert set(net.tree.node_ids) == {net.sink_id, 1}
+        assert {e.node_id for e in seen} == {2, 3}
+        assert_tree_invariants(net)
+
+    def test_incremental_repair_leaves_distant_subtrees_alone(self):
+        net = Network(grid_topology(4))
+        victim = next(n for n in net.tree.sensor_ids
+                      if net.tree.children(n))
+        untouched = {
+            n: net.tree.parent(n) for n in net.tree.sensor_ids
+            if n != victim and net.tree.parent(n) != victim
+        }
+        net.kill_node(victim)
+        moved = sum(1 for n, p in untouched.items()
+                    if n in net.tree.node_ids and net.tree.parent(n) != p)
+        # Only the orphaned subtree re-parents; everyone else keeps
+        # their pointer (a full BFS rebuild offers no such promise).
+        assert moved == 0
+
+
+class TestSchedules:
+    def test_failure_schedule_excludes_sink(self):
+        schedule = FailureSchedule.random_deaths(
+            range(0, 10), count=9, epochs=30, seed=1)
+        assert all(f.node_id != 0 for f in schedule.failures)
+
+    def test_failure_schedule_pool_without_sink_too_small(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule.random_deaths([0, 1, 2], count=3, epochs=10)
+
+    def test_churn_random_deaths_excludes_sink(self):
+        schedule = ChurnSchedule.random_deaths(
+            range(0, 8), count=7, epochs=20, seed=3)
+        assert all(e.node_id != 0 for e in schedule.events)
+        assert all(e.kind is ChurnKind.DEATH for e in schedule.events)
+
+    def test_birth_requires_position(self):
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(1, ChurnKind.BIRTH, 9)
+
+    def test_poisson_deterministic_and_sink_safe(self):
+        topology = grid_topology(4)
+        a = ChurnSchedule.poisson(topology, 40, death_rate=0.3,
+                                  birth_rate=0.2, seed=9)
+        b = ChurnSchedule.poisson(topology, 40, death_rate=0.3,
+                                  birth_rate=0.2, seed=9)
+        assert a.events == b.events
+        assert all(e.node_id != topology.sink_id for e in a.events)
+        assert a.deaths and a.births
+
+    def test_poisson_respects_min_population(self):
+        topology = grid_topology(3)
+        schedule = ChurnSchedule.poisson(topology, 200, death_rate=1.0,
+                                         birth_rate=0.0, seed=2,
+                                         min_population=5)
+        assert len(schedule.deaths) <= 9 - 5
+
+    def test_scenario_presets_cover_all_names(self):
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=2)
+        for preset in CHURN_PRESETS:
+            schedule = churn_schedule(scenario, 30, preset=preset, seed=4)
+            assert all(e.epoch < 30 for e in schedule.events)
+        with pytest.raises(ConfigurationError):
+            churn_schedule(scenario, 30, preset="apocalyptic")
+
+    def test_same_epoch_birth_and_death_both_apply(self):
+        net = Network(grid_topology(3))
+        anchor = min(net.tree.sensor_ids)
+        ax, ay = net.topology.positions[anchor]
+        born = max(net.tree.sensor_ids) + 1
+        schedule = ChurnSchedule([
+            ChurnEvent(0, ChurnKind.BIRTH, born, position=(ax + 2, ay + 2)),
+            ChurnEvent(0, ChurnKind.DEATH, born),
+        ])
+        applied = schedule.apply(net, 0)
+        assert len(applied) == 2
+        assert not net.nodes[born].alive
+        assert_tree_invariants(net)
+
+    def test_preset_newborns_sense_their_inherited_room(self):
+        scenario = grid_rooms_scenario(side=5, rooms_per_axis=2, seed=41)
+        schedule = churn_schedule(scenario, 20, preset="harsh", seed=8)
+        assert schedule.births, "harsh preset should schedule births"
+        for event in schedule.births:
+            level = scenario.field.room_level(event.group, 10)
+            reading = scenario.field.value(event.node_id, 10)
+            # Enrolled into the room walk, not reading the 0.0 floor.
+            assert abs(reading - level) < 10.0
+
+    def test_failure_schedule_skips_unknown_victims(self):
+        net = Network(grid_topology(3))
+        schedule = FailureSchedule([Failure(0, 5), Failure(0, 999)])
+        assert schedule.apply(net, 0) == (5,)
+
+    def test_apply_batches_deaths_and_skips_dead(self):
+        net = Network(grid_topology(4))
+        schedule = ChurnSchedule([
+            ChurnEvent(0, ChurnKind.DEATH, 5),
+            ChurnEvent(0, ChurnKind.DEATH, 6),
+            ChurnEvent(2, ChurnKind.DEATH, 5),
+        ])
+        applied = schedule.apply(net, 0)
+        assert {e.node_id for e in applied} == {5, 6}
+        assert_tree_invariants(net)
+        assert schedule.apply(net, 2) == ()
+
+
+class TestChurnInvariants:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_tree_invariants_under_any_event_sequence(self, data):
+        side = data.draw(st.integers(2, 4), label="side")
+        net = Network(grid_topology(side))
+        next_id = max(net.tree.sensor_ids) + 1
+        steps = data.draw(st.integers(1, 10), label="events")
+        for _ in range(steps):
+            alive = net.alive_sensor_ids()
+            join = (len(alive) <= 1
+                    or data.draw(st.booleans(), label="join?"))
+            if join:
+                anchor = data.draw(
+                    st.sampled_from(sorted(net.tree.node_ids)),
+                    label="anchor")
+                ax, ay = net.topology.positions[anchor]
+                angle = data.draw(st.floats(0, 2 * math.pi,
+                                            allow_nan=False),
+                                  label="angle")
+                radius = 0.6 * net.topology.radio_range
+                net.join_node(next_id, (ax + radius * math.cos(angle),
+                                        ay + radius * math.sin(angle)))
+                next_id += 1
+            else:
+                victim = data.draw(st.sampled_from(sorted(alive)),
+                                   label="victim")
+                net.kill_node(victim)
+            assert_tree_invariants(net)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_serial_and_concurrent_sessions_agree_under_identical_churn(
+            self, seed):
+        queries = [
+            "SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min",
+            "SELECT TOP 1 roomid, MAX(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min",
+        ]
+        epochs = 8
+
+        def final_answers(concurrent: bool):
+            answers = []
+            if concurrent:
+                scenario = grid_rooms_scenario(side=4, rooms_per_axis=2,
+                                               seed=17)
+                schedule = churn_schedule(scenario, epochs, preset="harsh",
+                                          seed=seed)
+                server = KSpotServer(scenario.network,
+                                     group_of=scenario.group_of)
+                sids = [server.submit_session(q) for q in queries]
+                server.run_all(epochs, churn=schedule,
+                               board_for=scenario.board_for)
+                for sid in sids:
+                    result = server.session(sid).results[-1]
+                    answers.append(tuple(
+                        (i.key, round(i.score, 6)) for i in result.items))
+            else:
+                for query in queries:
+                    scenario = grid_rooms_scenario(side=4, rooms_per_axis=2,
+                                                   seed=17)
+                    schedule = churn_schedule(scenario, epochs,
+                                              preset="harsh", seed=seed)
+                    server = KSpotServer(scenario.network,
+                                         group_of=scenario.group_of)
+                    sid = server.submit_session(query)
+                    server.run_all(epochs, churn=schedule,
+                                   board_for=scenario.board_for)
+                    result = server.session(sid).results[-1]
+                    answers.append(tuple(
+                        (i.key, round(i.score, 6)) for i in result.items))
+            return answers
+
+        assert final_answers(True) == final_answers(False)
+
+
+class TestRecoveryProtocol:
+    def test_mint_session_stays_exact_through_churn(self):
+        scenario = grid_rooms_scenario(side=5, rooms_per_axis=2, seed=23)
+        net = scenario.network
+        server = KSpotServer(net, group_of=scenario.group_of)
+        sid = server.submit_session(
+            "SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min")
+        relay = next(n for n in net.tree.children(net.sink_id)
+                     if net.tree.children(n))
+        schedule = ChurnSchedule([ChurnEvent(2, ChurnKind.DEATH, relay),
+                                  ChurnEvent(4, ChurnKind.DEATH, 7)])
+        aggregate = make_aggregate("AVG", 0, 100)
+        modality = get_modality("sound")
+        for _ in server.stream_all(7, churn=schedule):
+            session = server.session(sid)
+            result = session.results[-1]
+            live = {n: g for n, g in scenario.group_of.items()
+                    if net.nodes[n].alive}
+            readings = {
+                n: modality.quantize(scenario.field.value(n, result.epoch))
+                for n in live
+            }
+            truth = oracle_scores(readings, live, aggregate)
+            assert result.exact
+            assert is_valid_top_k(result.items, truth, 2, tolerance=1e-6)
+        log = server.session(sid).recovery
+        assert log.failures == 2
+        assert log.reprimed > 0
+        assert len(log.records) == 2
+
+    def test_joined_node_enters_the_ranking(self):
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=29)
+        net = scenario.network
+        server = KSpotServer(net, group_of=scenario.group_of)
+        sid = server.submit_session(
+            "SELECT TOP 3 nodeid, MAX(sound) FROM sensors "
+            "GROUP BY nodeid EPOCH DURATION 1 min")
+        anchor = min(net.tree.sensor_ids)
+        ax, ay = net.topology.positions[anchor]
+        born = max(net.tree.sensor_ids) + 1
+        schedule = ChurnSchedule([
+            ChurnEvent(2, ChurnKind.BIRTH, born, position=(ax + 2.0, ay + 2.0),
+                       group=scenario.group_of.get(anchor)),
+        ])
+        server.run_all(6, churn=schedule, board_for=scenario.board_for)
+        session = server.session(sid)
+        assert session.recovery.joins == 1
+        # The newborn is a ranked candidate from its first full epoch on.
+        assert born in session.results[-1].all_bounds
+
+    def test_recovery_log_reaches_the_system_panel(self):
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=31)
+
+        def shadow():
+            return grid_rooms_scenario(side=4, rooms_per_axis=2,
+                                       seed=31).network
+
+        server = KSpotServer(scenario.network, group_of=scenario.group_of,
+                             baseline_factory=shadow)
+        sid = server.submit_session(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min")
+        schedule = ChurnSchedule([ChurnEvent(1, ChurnKind.DEATH, 3)])
+        server.run_all(4, churn=schedule)
+        session = server.session(sid)
+        panel = session.system_panel
+        assert panel is not None
+        assert panel.recovery is session.recovery
+        assert panel.recovery.summary()["failures"] == 1
+
+    def test_historic_session_survives_acquisition_churn(self):
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=37)
+        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        sid = server.submit_session(
+            "SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+            "GROUP BY epoch WITH HISTORY 6 s EPOCH DURATION 1 s")
+        schedule = ChurnSchedule([ChurnEvent(2, ChurnKind.DEATH, 5)])
+        server.run_all(8, churn=schedule)
+        session = server.session(sid)
+        assert session.historic_result is not None
+        assert len(session.historic_result.items) == 3

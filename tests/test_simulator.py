@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RoutingError, TopologyError
+from repro.errors import ConfigurationError, RoutingError, TopologyError
 from repro.network.link import RadioModel
 from repro.network.messages import ControlMessage, QueryMessage
 from repro.network.simulator import Network
@@ -132,7 +132,7 @@ class TestFailureInjection:
         assert not net.node(victim).alive
 
     def test_sink_cannot_be_killed(self, net):
-        with pytest.raises(TopologyError):
+        with pytest.raises(ConfigurationError):
             net.kill_node(net.sink_id)
 
     def test_bottleneck_energy(self, net):
