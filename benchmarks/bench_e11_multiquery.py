@@ -20,8 +20,8 @@ import _bootstrap  # noqa: F401  src/ path wiring for script runs
 
 import time
 
+from repro.api import Deployment, EpochDriver
 from repro.scenarios import grid_rooms_scenario
-from repro.server import KSpotServer
 
 from conftest import once, report
 
@@ -51,6 +51,13 @@ def total_samples(network):
                for n in network.tree.sensor_ids)
 
 
+def outcome_of(handle):
+    if handle.is_historic:
+        return tuple((i.key, i.score)
+                     for i in handle.historic_result.items)
+    return tuple((i.key, i.score) for i in handle.last_result.items)
+
+
 def run_serial(queries):
     """Each query gets the deployment to itself, one after another."""
     samples = messages = payload = 0
@@ -59,17 +66,14 @@ def run_serial(queries):
     for query in queries:
         scenario = grid_rooms_scenario(side=SIDE, rooms_per_axis=ROOMS,
                                        seed=SEED)
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
-        sid = server.submit_session(query)
-        session = server.session(sid)
-        if session.is_historic:
-            session.run_historic()
-            outcomes.append(tuple((i.key, i.score)
-                                  for i in session.historic_result.items))
+        deployment = Deployment.from_scenario(scenario)
+        driver = EpochDriver(deployment)
+        handle = deployment.submit(query)
+        if handle.is_historic:
+            driver.run()  # historic sessions finish by themselves
         else:
-            server.run_all(EPOCHS)
-            outcomes.append(tuple((i.key, i.score)
-                                  for i in session.results[-1].items))
+            driver.run(EPOCHS)
+        outcomes.append(outcome_of(handle))
         samples += total_samples(scenario.network)
         messages += scenario.network.stats.messages
         payload += scenario.network.stats.payload_bytes
@@ -81,20 +85,13 @@ def run_concurrent(queries):
     """All queries share one deployment and one epoch clock."""
     scenario = grid_rooms_scenario(side=SIDE, rooms_per_axis=ROOMS,
                                    seed=SEED)
-    server = KSpotServer(scenario.network, group_of=scenario.group_of)
-    sids = [server.submit_session(query) for query in queries]
+    deployment = Deployment.from_scenario(scenario)
+    driver = EpochDriver(deployment)
+    handles = [deployment.submit(query) for query in queries]
     started = time.perf_counter()
-    server.run_all(EPOCHS)
+    driver.run(EPOCHS)
     elapsed = time.perf_counter() - started
-    outcomes = []
-    for sid in sids:
-        session = server.session(sid)
-        if session.is_historic:
-            outcomes.append(tuple((i.key, i.score)
-                                  for i in session.historic_result.items))
-        else:
-            outcomes.append(tuple((i.key, i.score)
-                                  for i in session.results[-1].items))
+    outcomes = [outcome_of(handle) for handle in handles]
     network = scenario.network
     return (total_samples(network), network.stats.messages,
             network.stats.payload_bytes, elapsed, outcomes)

@@ -19,12 +19,12 @@ things, and this benchmark measures both:
 
 import _bootstrap  # noqa: F401  src/ path wiring for script runs
 
+from repro.api import ChurnIntervention, Deployment, EpochDriver
 from repro.network.churn import ChurnEvent, ChurnKind, ChurnSchedule
 from repro.network.simulator import Network
 from repro.network.topology import Topology
 from repro.scenarios import grid_rooms_scenario
 from repro.sensing.board import SensorBoard
-from repro.server import KSpotServer
 
 from conftest import once
 
@@ -66,21 +66,20 @@ def make_schedule(network, group_of):
 
 
 def run_churned(side):
-    """Drive the workload under churn; returns (scenario, server,
+    """Drive the workload under churn; returns (scenario, deployment,
     schedule, per-session answer streams)."""
     scenario = grid_rooms_scenario(side=side, rooms_per_axis=3, seed=SEED)
-    server = KSpotServer(scenario.network, group_of=scenario.group_of)
-    sids = [server.submit_session(q) for q in QUERIES]
+    deployment = Deployment.from_scenario(scenario)
+    handles = [deployment.submit(q) for q in QUERIES]
     schedule = make_schedule(scenario.network, scenario.group_of)
-    for _ in server.stream_all(EPOCHS, churn=schedule,
-                               board_for=scenario.board_for):
-        pass
+    EpochDriver(deployment,
+                interventions=[ChurnIntervention(schedule)]).run(EPOCHS)
     answers = {
-        sid: [(r.epoch, tuple((i.key, i.score) for i in r.items))
-              for r in server.session(sid).results]
-        for sid in sids
+        handle.id: [(r.epoch, tuple((i.key, i.score) for i in r.items))
+                    for r in handle.results]
+        for handle in handles
     }
-    return scenario, server, schedule, answers
+    return scenario, deployment, schedule, answers
 
 
 def run_fault_free_survivors(scenario, schedule):
@@ -104,27 +103,28 @@ def run_fault_free_survivors(scenario, schedule):
                         radio_range=network.topology.radio_range,
                         sink_id=network.sink_id)
     oracle_net = Network(topology, boards=boards, group_of=group_of)
-    server = KSpotServer(oracle_net, group_of=group_of)
-    sids = [server.submit_session(q) for q in QUERIES]
-    server.run_all(EPOCHS)
+    deployment = Deployment(oracle_net, group_of=group_of)
+    handles = [deployment.submit(q) for q in QUERIES]
+    EpochDriver(deployment).run(EPOCHS)
     return {
-        sid: [(r.epoch, tuple((i.key, i.score) for i in r.items))
-              for r in server.session(sid).results]
-        for sid in sids
+        handle.id: [(r.epoch, tuple((i.key, i.score) for i in r.items))
+                    for r in handle.results]
+        for handle in handles
     }
 
 
-def recovery_cost(server, network):
+def recovery_cost(deployment, network):
     """Messages + re-primed states the churn actually cost."""
     phase = network.stats.by_phase.get("recovery")
     repair_messages = phase.messages if phase else 0
-    reprimed = sum(s.recovery.reprimed for s in server.sessions.values())
+    reprimed = sum(handle.recovery.reprimed
+                   for handle in deployment.sessions())
     return repair_messages + reprimed, repair_messages, reprimed
 
 
 def run_experiment():
     # -- part 1: answers through churn == fault-free survivor run ------
-    scenario, server, schedule, churned = run_churned(side=6)
+    scenario, _deployment, schedule, churned = run_churned(side=6)
     oracle = run_fault_free_survivors(scenario, schedule)
     settle = schedule.last_epoch + 1
     agreements = []
@@ -138,8 +138,8 @@ def run_experiment():
     rows = []
     costs = {}
     for side in (4, 6, 8):
-        sc, srv, sched, _ = run_churned(side=side)
-        total, repair, reprimed = recovery_cost(srv, sc.network)
+        sc, dep, sched, _ = run_churned(side=side)
+        total, repair, reprimed = recovery_cost(dep, sc.network)
         sensors = side * side
         # The restart baseline re-creates every view per event batch.
         restart = len(sched.events) * sensors * len(QUERIES)

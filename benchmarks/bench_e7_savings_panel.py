@@ -8,10 +8,10 @@ System Panel plots. Every reported answer is exact.
 
 import _bootstrap  # noqa: F401  src/ path wiring for script runs
 
+from repro.api import Deployment, EpochDriver
 from repro.core.mint import MintConfig
 from repro.gui.render import render_savings
 from repro.scenarios import conference_scenario
-from repro.server import KSpotServer
 
 from conftest import once, report
 
@@ -23,14 +23,14 @@ QUERY = ("SELECT TOP 3 roomid, AVERAGE(sound) FROM sensors "
 def run_demo():
     scenario = conference_scenario(seed=7, room_step=2.0, sensor_sigma=0.2)
     shadow = conference_scenario(seed=7, room_step=2.0, sensor_sigma=0.2)
-    server = KSpotServer(scenario.network, group_of=scenario.group_of,
-                         baseline_network=shadow.network,
-                         mint_config=MintConfig(slack=0, adaptive=True))
-    server.submit(QUERY)
-    server.run(EPOCHS)
-    panel = server.system_panel
-    exact = all(result.exact for result in server.results)
-    return panel, server.results, exact
+    deployment = Deployment.from_scenario(
+        scenario, baseline_network=shadow.network,
+        mint_config=MintConfig(slack=0, adaptive=True))
+    handle = deployment.submit(QUERY)
+    EpochDriver(deployment).run(EPOCHS)
+    panel = handle.system_panel
+    exact = all(result.exact for result in handle.results)
+    return panel, handle.results, exact
 
 
 def test_e7_savings_panel(benchmark, table):

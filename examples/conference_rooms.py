@@ -11,10 +11,10 @@ against a TAG baseline running on an identical shadow deployment.
 Run:  python examples/conference_rooms.py
 """
 
+from repro.api import Deployment, EpochDriver
 from repro.core.mint import MintConfig
 from repro.gui import DisplayPanel, render_display, render_savings
 from repro.scenarios import conference_scenario
-from repro.server import KSpotServer
 
 QUERY = """
 SELECT TOP 3 roomid, AVERAGE(sound)
@@ -47,20 +47,21 @@ def main():
         floor_plan_caption="conference site floor plan",
     )
 
-    server = KSpotServer(
-        scenario.network,
-        group_of=scenario.group_of,
+    deployment = Deployment.from_scenario(
+        scenario,
         display=display,
         baseline_network=shadow.network,
         mint_config=MintConfig(slack=0, adaptive=True),
     )
-    plan = server.submit(QUERY)
+    driver = EpochDriver(deployment)
+    handle = deployment.submit(QUERY)
+    plan = handle.plan
     print(f"routed to: {plan.algorithm.value} ({plan.query_class.value})")
     print(f"epoch duration: {plan.epoch_seconds:.0f} s, continuous: "
           f"{plan.continuous}")
     print()
 
-    for result in server.stream(EPOCHS):
+    for result in handle.watch(driver, epochs=EPOCHS):
         if result.epoch % 10 == 0:
             ranked = ", ".join(f"{item.key}={item.score:.1f}"
                                for item in result.items)
@@ -70,7 +71,7 @@ def main():
     print()
     print(render_display(display, columns=66, rows=16))
     print()
-    panel = server.system_panel
+    panel = handle.system_panel
     print(render_savings(panel.samples, metric="bytes"))
     print()
     cumulative = panel.cumulative
@@ -83,9 +84,12 @@ def main():
     print(f"  energy:   {cumulative.energy_saving_pct:5.1f}%  "
           f"({cumulative.radio_joules * 1e3:.2f} mJ vs "
           f"{cumulative.baseline_radio_joules * 1e3:.2f} mJ)")
-    probes = sum(r.probed for r in server.results)
+    probes = sum(r.probed for r in handle.results)
+    # The adaptive slack lives on the engine — an engine-room detail
+    # the read-only handle deliberately does not surface.
+    engine = deployment.active_sessions()[0].engine
     print(f"  probe rounds: {probes} over {EPOCHS} epochs; "
-          f"final adaptive slack: {server.engine.algorithm.slack}")
+          f"final adaptive slack: {engine.algorithm.slack}")
 
 
 if __name__ == "__main__":

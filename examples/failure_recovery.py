@@ -2,18 +2,32 @@
 """Robustness: continuous monitoring through node failures.
 
 Sensor deployments lose motes. This example runs the conference-style
-TOP-2 query on an 8×8 grid while a failure schedule kills sensors
-mid-run; the routing tree repairs itself, MINT re-creates its views,
-and every reported answer remains exact over the surviving population.
+TOP-2 query on an 8×8 grid while a scripted
+:class:`~repro.network.churn.ChurnSchedule` kills sensors mid-run,
+injected through the driver as a
+:class:`~repro.api.ChurnIntervention`: the routing tree repairs
+itself, the session's detect → quiesce → repair → resume protocol
+re-primes exactly the dirty state, and every reported answer remains
+exact over the surviving population. The session's ``on_recovery``
+subscription narrates each absorbed batch as it happens — push, not
+poll.
 
 Run:  python examples/failure_recovery.py
 """
 
-from repro.core import Mint, is_valid_top_k, oracle_scores
+from repro.api import ChurnIntervention, Deployment, EpochDriver
+from repro.core import is_valid_top_k, oracle_scores
 from repro.core.aggregates import make_aggregate
-from repro.network.failures import FailureSchedule
+from repro.network.churn import ChurnSchedule
 from repro.scenarios import grid_rooms_scenario
 from repro.sensing.modalities import get_modality
+
+QUERY = """
+SELECT TOP 2 roomid, AVERAGE(sound)
+FROM sensors
+GROUP BY roomid
+EPOCH DURATION 1 min
+"""
 
 EPOCHS = 30
 K = 2
@@ -26,51 +40,54 @@ def main():
     scenario = grid_rooms_scenario(side=8, rooms_per_axis=4, seed=29)
     network = scenario.network
     aggregate = make_aggregate("AVG", 0, 100)
-    mint = Mint(network, aggregate, K, scenario.group_of)
     modality = get_modality("sound")
 
     leaves = [n for n in network.tree.sensor_ids if network.tree.is_leaf(n)]
-    schedule = FailureSchedule.random_deaths(leaves, count=6, epochs=EPOCHS,
-                                             seed=5, first_epoch=4)
+    schedule = ChurnSchedule.random_deaths(leaves, count=6, epochs=EPOCHS,
+                                           seed=5, first_epoch=4)
+    deployment = Deployment.from_scenario(scenario)
+    driver = EpochDriver(deployment,
+                         interventions=[ChurnIntervention(schedule)])
+    handle = deployment.submit(QUERY)
+    handle.on_recovery(lambda record: print(
+        f"epoch {record.epoch:3d}: sensors {list(record.failed)} died — "
+        f"tree repaired ({record.repair_edges} new edges), "
+        f"{record.reprimed} node states re-primed"))
+
     print(f"deployment: {len(network.tree.sensor_ids)} sensors, "
           f"{len(set(scenario.group_of.values()))} rooms, "
           f"tree height {network.tree.height}")
     print(f"scheduled deaths: "
-          f"{[(f.epoch, f.node_id) for f in schedule.failures]}")
+          f"{[(e.epoch, e.node_id) for e in schedule.deaths]}")
     print()
 
     exact_epochs = 0
-    for epoch in range(EPOCHS):
-        victims = schedule.apply(network, epoch)
-        if victims:
-            mint.handle_topology_change()
-            print(f"epoch {epoch:3d}: sensors {list(victims)} died — "
-                  f"tree repaired (height {network.tree.height}), "
-                  f"views re-created")
-        result = mint.run_epoch()
-
+    for result in handle.watch(driver, epochs=EPOCHS):
         survivors = {n: g for n, g in scenario.group_of.items()
                      if network.nodes[n].alive}
-        readings = {n: modality.quantize(scenario.field.value(n, epoch))
+        readings = {n: modality.quantize(scenario.field.value(n,
+                                                              result.epoch))
                     for n in survivors}
         truth = oracle_scores(readings, survivors, aggregate)
         ok = is_valid_top_k(result.items, truth, K, tolerance=1e-6)
         exact_epochs += ok
-        if epoch % 6 == 0 or victims:
+        if result.epoch % 6 == 0:
             answer = ", ".join(f"{i.key}={i.score:.1f}"
                                for i in result.items)
-            print(f"epoch {epoch:3d}: top-{K} = [{answer}]  "
+            print(f"epoch {result.epoch:3d}: top-{K} = [{answer}]  "
                   f"correct={ok}  alive={len(survivors)}")
 
     print()
-    print(f"exact answers: {exact_epochs}/{EPOCHS} epochs "
-          f"(creation re-runs after each repair keep the bound "
-          f"framework sound)")
+    log = handle.recovery
+    print(f"exact answers: {exact_epochs}/{EPOCHS} epochs; session "
+          f"absorbed {log.failures} failures in {len(log.records)} "
+          f"recovery passes ({log.reprimed} re-primed states)")
     print(f"traffic: {network.stats.messages} messages, "
           f"{network.stats.payload_bytes} payload bytes; "
           f"bottleneck node drained "
           f"{network.bottleneck_energy()[1] * 1e3:.2f} mJ")
     assert exact_epochs == EPOCHS
+    assert log.failures == 6
 
 
 if __name__ == "__main__":

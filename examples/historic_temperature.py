@@ -11,12 +11,12 @@ collection to show the cost gap.
 Run:  python examples/historic_temperature.py
 """
 
+from repro.api import Deployment, EpochDriver
 from repro.network.simulator import Network
 from repro.network.topology import grid_topology
 from repro.query.plan import Algorithm
 from repro.sensing.board import SensorBoard
 from repro.sensing.generators import DiurnalField, GaussianNoiseField
-from repro.server import KSpotServer
 
 QUERY = """
 SELECT TOP 5 epoch, AVERAGE(temperature)
@@ -42,11 +42,13 @@ def deploy(seed=0):
 
 def run(algorithm=None):
     network = deploy()
-    server = KSpotServer(network, group_of={n: n
-                                            for n in network.tree.sensor_ids})
-    plan = server.submit(QUERY, algorithm=algorithm)
-    result = server.run_historic()
-    return plan, result, network.stats
+    deployment = Deployment(network,
+                            group_of={n: n
+                                      for n in network.tree.sensor_ids})
+    handle = deployment.submit(QUERY, algorithm=algorithm)
+    # Historic sessions finish by themselves: run() until idle.
+    EpochDriver(deployment).run()
+    return handle.plan, handle.historic_result, network.stats
 
 
 def main():

@@ -9,9 +9,9 @@ pruning needs MINT's γ descriptors: the naive greedy strategy answers
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Deployment, EpochDriver
 from repro.query.plan import Algorithm
 from repro.scenarios import figure1_scenario
-from repro.server import KSpotServer
 
 QUERY = """
 SELECT TOP 1 roomid, AVERAGE(sound)
@@ -24,10 +24,10 @@ EPOCH DURATION 1 min
 def run_algorithm(algorithm=None, epochs=2):
     """Deploy Figure 1 fresh and run the query under one algorithm."""
     scenario = figure1_scenario()
-    server = KSpotServer(scenario.network, group_of=scenario.group_of)
-    plan = server.submit(QUERY, algorithm=algorithm)
-    results = server.run(epochs)
-    return plan, results[-1], scenario.network.stats
+    deployment = Deployment.from_scenario(scenario)
+    handle = deployment.submit(QUERY, algorithm=algorithm)
+    EpochDriver(deployment).run(epochs)
+    return handle.plan, handle.last_result, scenario.network.stats
 
 
 def main():

@@ -20,7 +20,8 @@ Run:  python examples/zebranet_trajectories.py
 import math
 import random
 
-from repro.core import Mint, oracle_scores
+from repro.api import Deployment, EpochDriver
+from repro.core import oracle_scores
 from repro.core.aggregates import make_aggregate
 from repro.network.messages import ScoreListMessage, ObjectScore
 from repro.network.simulator import Network
@@ -96,12 +97,16 @@ def main():
           f"{dissemination.messages} broadcasts, "
           f"{dissemination.payload_bytes} bytes")
 
-    # In-network TOP-K over the derived score.
+    # In-network TOP-K over the derived score, through the facade: the
+    # herd is one deployment, the similarity ranking one session.
     participants = {z: z for z in scores}
     aggregate = make_aggregate("AVG", 0, 100)
-    mint = Mint(network, aggregate, K, participants, attribute="sound")
-    mint.run_epoch()          # creation
-    result = mint.run_epoch()  # pruned update
+    deployment = Deployment(network, group_of=participants)
+    handle = deployment.submit(
+        f"SELECT TOP {K} roomid, AVERAGE(sound) FROM sensors "
+        f"GROUP BY roomid EPOCH DURATION 1 min")
+    EpochDriver(deployment).run(2)  # creation epoch, then pruned update
+    result = handle.last_result
 
     truth = oracle_scores(scores, participants, aggregate)
     expected = sorted(truth.items(), key=lambda kv: (-kv[1], kv[0]))[:K]

@@ -8,24 +8,33 @@ storage, and the server/GUI tier — everything the demo runs on.
 
 The ninety-second tour::
 
+    from repro.api import Deployment, EpochDriver
     from repro.scenarios import conference_scenario
-    from repro.server import KSpotServer
 
-    scenario = conference_scenario()
-    server = KSpotServer(scenario.network, group_of=scenario.group_of)
-    server.submit(\"\"\"
+    deployment = Deployment.from_scenario(conference_scenario())
+    driver = EpochDriver(deployment)
+    handle = deployment.submit(\"\"\"
         SELECT TOP 3 roomid, AVERAGE(sound)
         FROM sensors GROUP BY roomid EPOCH DURATION 1 min
     \"\"\")
-    for result in server.stream(epochs=10):
+    for result in handle.watch(driver, epochs=10):
         print(result.epoch, result.keys, result.exact)
 
-Package map: :mod:`repro.core` (algorithms), :mod:`repro.query`
-(language), :mod:`repro.network` (simulator), :mod:`repro.sensing`,
-:mod:`repro.storage`, :mod:`repro.gui`, :mod:`repro.server`,
-:mod:`repro.scenarios`.
+Package map: :mod:`repro.api` (public facade), :mod:`repro.core`
+(algorithms), :mod:`repro.query` (language), :mod:`repro.network`
+(simulator), :mod:`repro.sensing`, :mod:`repro.storage`,
+:mod:`repro.gui`, :mod:`repro.server` (engine room + deprecated
+``KSpotServer`` shim), :mod:`repro.scenarios`.
 """
 
+from .api import (
+    ChurnIntervention,
+    Deployment,
+    EpochDriver,
+    Intervention,
+    SessionHandle,
+    SessionState,
+)
 from .core import KSpotEngine, Mint, MintConfig, Tag, Tja, Tput
 from .core.results import EpochResult, RankedItem
 from .errors import KSpotError
@@ -38,11 +47,17 @@ from .scenarios import (
 )
 from .server import KSpotServer, QuerySession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "KSpotError",
+    "Deployment",
+    "EpochDriver",
+    "SessionHandle",
+    "SessionState",
+    "Intervention",
+    "ChurnIntervention",
     "KSpotServer",
     "QuerySession",
     "KSpotEngine",

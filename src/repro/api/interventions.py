@@ -1,0 +1,69 @@
+"""Interventions: pluggable world-changers on the driver's epoch loop.
+
+PR 2 bolted churn injection onto ``stream_all(churn=, board_for=)`` —
+a pair of keyword arguments that could only ever express one kind of
+intervention. The driver generalises this: an :class:`Intervention` is
+an object with ``before_epoch`` / ``after_epoch`` hooks the
+:class:`~repro.api.EpochDriver` calls around every shared epoch, so
+node churn, duty-cycle changes, or fault injection all plug in the
+same way.
+
+:class:`ChurnIntervention` wraps a
+:class:`~repro.network.churn.ChurnSchedule` and applies the events due
+at the current epoch *before* the epoch runs — live sessions detect
+them, recover, and answer over the surviving population, exactly the
+old ``stream_all`` semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.churn import ChurnEvent, ChurnSchedule
+    from .deployment import Deployment
+
+
+class Intervention:
+    """Base class: a no-op hook pair around every driven epoch."""
+
+    def before_epoch(self, deployment: "Deployment", epoch: int) -> None:
+        """Called before the epoch at shared-clock time ``epoch`` runs."""
+
+    def after_epoch(self, deployment: "Deployment", epoch: int,
+                    outcomes: dict) -> None:
+        """Called after the epoch ran, with the per-session outcomes."""
+
+
+class ChurnIntervention(Intervention):
+    """Apply a churn schedule's due events at the start of each epoch.
+
+    Churn applies to the *primary* deployment only: sessions' TAG
+    shadow networks keep their full fleet, so System-Panel savings
+    under churn compare against what the baseline would cost on an
+    intact deployment (an upper bound on the baseline), not against a
+    baseline suffering the same losses.
+    """
+
+    def __init__(self, schedule: "ChurnSchedule",
+                 board_for: Callable[[int], object] | None = None):
+        """Args:
+            schedule: The deaths-and-births script to apply.
+            board_for: ``node_id -> SensorBoard`` for churn-born motes;
+                defaults to the deployment's scenario-provided boards
+                (newborns without a board join but cannot be sampled).
+        """
+        self.schedule = schedule
+        self.board_for = board_for
+        #: Every event actually applied so far, in application order.
+        self.applied: "list[ChurnEvent]" = []
+
+    def before_epoch(self, deployment: "Deployment", epoch: int) -> None:
+        board_for = self.board_for or deployment.board_for
+        self.applied.extend(
+            self.schedule.apply(deployment.network, epoch,
+                                board_for=board_for))
+
+    def __repr__(self) -> str:
+        return (f"ChurnIntervention({len(self.schedule.events)} scheduled, "
+                f"{len(self.applied)} applied)")

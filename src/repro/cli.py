@@ -11,21 +11,33 @@ Commands:
 * ``scenario-init`` — write a template scenario file to edit;
 * ``savings`` — a quick MINT-vs-TAG savings table for a grid
   deployment (the System Panel, in one shot).
+
+``run`` and ``workload`` speak two output formats: the human tables
+(default) and ``--format json`` — machine-readable per-session
+results, traffic stats and recovery summaries for scripting.
+
+Everything drives the layered :mod:`repro.api` facade: a
+:class:`~repro.api.Deployment` owns the network and sessions, an
+:class:`~repro.api.EpochDriver` (with a
+:class:`~repro.api.ChurnIntervention` under ``--churn``) advances the
+shared clock, and :class:`~repro.api.SessionHandle` accessors feed the
+reports.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from . import __version__
+from .api import ChurnIntervention, Deployment, EpochDriver, SessionHandle
 from .errors import KSpotError
 from .gui.render import render_table
 from .gui.scenario import ScenarioConfig, load_scenario, save_scenario
 from .query.plan import Algorithm, QueryClass
 from .sensing.generators import RoomField
-from .server import KSpotServer
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--algorithm",
                      choices=[a.value for a in Algorithm], default=None,
                      help="override the routed algorithm")
+    _add_format_argument(run)
     _add_churn_arguments(run)
 
     workload = sub.add_parser(
@@ -72,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--baseline", action="store_true",
                           help="run a TAG shadow per top-k session and "
                                "report per-session + aggregate savings")
+    _add_format_argument(workload)
     _add_churn_arguments(workload)
 
     init = sub.add_parser("scenario-init",
@@ -89,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_format_argument(parser) -> None:
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="output format: human tables (default) or "
+                             "machine-readable JSON")
+
+
 def _add_churn_arguments(parser) -> None:
     from .scenarios import CHURN_PRESETS
 
@@ -102,14 +123,14 @@ def _add_churn_arguments(parser) -> None:
 
 
 def _make_churn(args, network, attribute, field, group_of,
-                epochs=None):
-    """(schedule, board_for) for ``--churn``, or (None, None).
+                epochs=None) -> ChurnIntervention | None:
+    """A :class:`ChurnIntervention` for ``--churn``, or None.
 
     ``epochs`` is the horizon the run will actually drive (historic
     queries run their window length, not ``--epochs``).
     """
     if not getattr(args, "churn", None):
-        return None, None
+        return None
     from .scenarios import preset_churn
     from .sensing.board import SensorBoard
 
@@ -117,26 +138,92 @@ def _make_churn(args, network, attribute, field, group_of,
         network.topology, epochs if epochs is not None else args.epochs,
         preset=args.churn, seed=args.churn_seed,
         group_for=(group_of or {}).get, field=field)
-    return schedule, lambda _nid: SensorBoard({attribute: field})
+    return ChurnIntervention(
+        schedule, board_for=lambda _nid: SensorBoard({attribute: field}))
 
 
-def _print_churn_summary(network, server) -> None:
-    """Fleet + per-session churn/recovery accounting."""
+# ----------------------------------------------------------------------
+# Reporting (tables + JSON)
+# ----------------------------------------------------------------------
+
+
+def _churn_summary(network, deployment) -> dict:
+    """Fleet + per-session churn/recovery accounting, JSON-ready."""
     alive = len(network.alive_sensor_ids())
     total = len(network.nodes)
     recovery = network.stats.by_phase.get("recovery")
-    line = (f"churn: {total - alive} dead, {alive} alive of {total} "
-            f"ever deployed")
-    if recovery is not None:
-        line += (f"; tree repair traffic {recovery.messages} messages / "
-                 f"{recovery.payload_bytes} bytes")
+    return {
+        "dead": total - alive,
+        "alive": alive,
+        "deployed": total,
+        "repair_traffic": None if recovery is None else {
+            "messages": recovery.messages,
+            "payload_bytes": recovery.payload_bytes,
+        },
+        "sessions": {
+            handle.id: handle.recovery.summary()
+            for handle in deployment.sessions()
+            if handle.recovery.records
+        },
+    }
+
+
+def _print_churn_summary(summary: dict) -> None:
+    line = (f"churn: {summary['dead']} dead, {summary['alive']} alive of "
+            f"{summary['deployed']} ever deployed")
+    repair = summary["repair_traffic"]
+    if repair is not None:
+        line += (f"; tree repair traffic {repair['messages']} messages / "
+                 f"{repair['payload_bytes']} bytes")
     print(line)
-    for sid in sorted(server.sessions):
-        log = server.sessions[sid].recovery
-        if log.records:
-            print(f"  session {sid}: recovered from {log.failures} "
-                  f"failures + {log.joins} joins, re-primed "
-                  f"{log.reprimed} node states")
+    for sid, log in sorted(summary["sessions"].items()):
+        print(f"  session {sid}: recovered from {log['failures']} "
+              f"failures + {log['joins']} joins, re-primed "
+              f"{log['reprimed']} node states")
+
+
+def _items_json(items) -> list[dict]:
+    return [{"key": item.key, "score": item.score} for item in items]
+
+
+def _session_json(handle: SessionHandle) -> dict:
+    """One session's machine-readable report: identity, state, answers,
+    traffic share, recovery log, and savings when a panel runs."""
+    data = {
+        "id": handle.id,
+        "query": handle.query_text,
+        "algorithm": handle.algorithm.value,
+        "query_class": handle.plan.query_class.value,
+        "state": handle.state.value,
+        "stats": handle.stats.summary(),
+        "recovery": handle.recovery.summary(),
+    }
+    if handle.is_historic:
+        result = handle.historic_result
+        data["historic_result"] = None if result is None else {
+            "items": _items_json(result.items),
+            "candidates": getattr(result, "candidates", None),
+            "cleanup_rounds": getattr(result, "cleanup_rounds", None),
+        }
+    else:
+        data["results"] = [
+            {"epoch": r.epoch, "exact": r.exact, "probed": r.probed,
+             "items": _items_json(r.items)}
+            for r in handle.results
+        ]
+    panel = handle.system_panel
+    if panel is not None and panel.samples:
+        data["savings"] = panel.cumulative.as_dict()
+    return data
+
+
+def _deployment_json(network) -> dict:
+    samples = sum(network.node(n).samples_taken
+                  for n in network.tree.sensor_ids)
+    summary = network.stats.summary()
+    summary["epoch"] = network.epoch
+    summary["sensor_samples"] = samples
+    return summary
 
 
 def _print_results(results, stats) -> None:
@@ -156,6 +243,11 @@ def _print_results(results, stats) -> None:
           f"{summary['radio_joules'] * 1e3:.2f} mJ radio")
 
 
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
 def _cmd_demo(args) -> int:
     from .scenarios import conference_scenario, figure1_scenario
 
@@ -167,12 +259,13 @@ def _cmd_demo(args) -> int:
         scenario = conference_scenario()
         query = ("SELECT TOP 3 roomid, AVERAGE(sound) FROM sensors "
                  "GROUP BY roomid EPOCH DURATION 1 min")
-    server = KSpotServer(scenario.network, group_of=scenario.group_of)
-    plan = server.submit(query)
+    deployment = scenario.deployment()
+    handle = deployment.submit(query)
     print(f"query:  {query}")
-    print(f"routed: {plan.algorithm.value} ({plan.query_class.value})")
-    results = server.run(args.epochs)
-    _print_results(results[-10:], scenario.network.stats)
+    print(f"routed: {handle.algorithm.value} "
+          f"({handle.plan.query_class.value})")
+    EpochDriver(deployment).run(args.epochs)
+    _print_results(handle.results[-10:], scenario.network.stats)
     return 0
 
 
@@ -187,42 +280,53 @@ def _deploy_from_config(config, seed: int):
 def _cmd_run(args) -> int:
     config = load_scenario(args.scenario)
     network, field = _deploy_from_config(config, args.seed)
-    server = KSpotServer(network, group_of=config.cluster_of or None)
+    deployment = Deployment(network, group_of=config.cluster_of or None)
     algorithm = Algorithm(args.algorithm) if args.algorithm else None
-    plan = server.submit(args.query, algorithm=algorithm)
+    handle = deployment.submit(args.query, algorithm=algorithm)
+    plan = handle.plan
     # Historic queries run their window length, not --epochs: the
     # churn schedule must cover the horizon actually driven.
-    horizon = (plan.window_epochs or args.epochs
-               if plan.query_class is QueryClass.HISTORIC_VERTICAL
-               else args.epochs)
-    schedule, board_for = _make_churn(args, network, config.attribute,
-                                      field, config.cluster_of,
-                                      epochs=horizon)
-    print(f"scenario: {config.name} ({len(config.positions)} sensors)")
-    print(f"routed:   {plan.algorithm.value} ({plan.query_class.value})")
-    if plan.query_class is QueryClass.HISTORIC_VERTICAL:
-        if schedule is not None:
-            for _ in server.stream_all(horizon, churn=schedule,
-                                       board_for=board_for):
-                pass
-        result = (server.current_session.historic_result
-                  or server.run_historic())
-        rows = [[rank, item.key, item.score]
-                for rank, item in enumerate(result.items, start=1)]
-        print(render_table(["rank", "epoch", "score"], rows))
-        print(f"candidates: {result.candidates}, "
-              f"clean-up rounds: {result.cleanup_rounds}")
+    historic = plan.query_class is QueryClass.HISTORIC_VERTICAL
+    horizon = (plan.window_epochs or args.epochs) if historic \
+        else args.epochs
+    churn = _make_churn(args, network, config.attribute, field,
+                        config.cluster_of, epochs=horizon)
+    driver = EpochDriver(deployment,
+                         interventions=[churn] if churn else ())
+    as_json = args.format == "json"
+    if not as_json:
+        print(f"scenario: {config.name} ({len(config.positions)} sensors)")
+        print(f"routed:   {plan.algorithm.value} ({plan.query_class.value})")
+    if historic:
+        # Historic sessions finish by themselves; run() until idle.
+        driver.run()
+        result = handle.historic_result
+        if not as_json:
+            rows = [[rank, item.key, item.score]
+                    for rank, item in enumerate(result.items, start=1)]
+            print(render_table(["rank", "epoch", "score"], rows))
+            # TJA reports clean-up rounds; TPUT's protocol has none.
+            cleanup = getattr(result, "cleanup_rounds", None)
+            line = f"candidates: {result.candidates}"
+            if cleanup is not None:
+                line += f", clean-up rounds: {cleanup}"
+            print(line)
     else:
-        if schedule is not None:
-            for _ in server.stream_all(args.epochs, churn=schedule,
-                                       board_for=board_for):
-                pass
-            results = server.results
-        else:
-            results = server.run(args.epochs)
-        _print_results(results, network.stats)
-    if schedule is not None:
-        _print_churn_summary(network, server)
+        driver.run(args.epochs)
+        if not as_json:
+            _print_results(handle.results, network.stats)
+    churn_summary = (_churn_summary(network, deployment)
+                     if churn is not None else None)
+    if as_json:
+        print(json.dumps({
+            "scenario": {"name": config.name,
+                         "sensors": len(config.positions)},
+            "session": _session_json(handle),
+            "deployment": _deployment_json(network),
+            "churn": churn_summary,
+        }, indent=2))
+    elif churn_summary is not None:
+        _print_churn_summary(churn_summary)
     return 0
 
 
@@ -252,6 +356,22 @@ def _load_workload(path: str):
     return entries
 
 
+def _workload_row(handle: SessionHandle):
+    if handle.historic_result is not None:
+        answer = ", ".join(f"{i.key}={i.score:.2f}"
+                           for i in handle.historic_result.items[:3])
+        epochs_run = "one-shot"
+    elif handle.results:
+        last = handle.results[-1]
+        answer = ", ".join(f"{i.key}={i.score:.2f}" for i in last.items)
+        epochs_run = len(handle.results)
+    else:
+        answer = "(still acquiring)"
+        epochs_run = 0
+    return [handle.id, handle.algorithm.value, epochs_run, answer,
+            handle.stats.messages, handle.stats.payload_bytes]
+
+
 def _cmd_workload(args) -> int:
     from .gui.stats import SystemPanel
     from .scenarios import grid_rooms_scenario
@@ -279,68 +399,70 @@ def _cmd_workload(args) -> int:
         attribute = scenario.attribute
         factory = lambda: deploy().network  # noqa: E731
 
-    server = KSpotServer(network, group_of=group_of,
-                         baseline_factory=factory if args.baseline else None)
+    as_json = args.format == "json"
+    deployment = Deployment(
+        network, group_of=group_of,
+        baseline_factory=factory if args.baseline else None)
     entries = _load_workload(args.file)
-    rejected = 0
+    rejected = []
     for algorithm, query in entries:
         try:
-            sid = server.submit_session(query, algorithm=algorithm)
+            handle = deployment.submit(query, algorithm=algorithm)
         except KSpotError as error:
-            rejected += 1
+            rejected.append({"query": query, "error": str(error)})
             print(f"rejected: {query!r} — {error}", file=sys.stderr)
             continue
-        session = server.session(sid)
-        print(f"session {sid}: routed {session.plan.algorithm.value} "
-              f"({session.plan.query_class.value}) — {query}")
-    if not server.sessions:
+        if not as_json:
+            print(f"session {handle.id}: routed {handle.algorithm.value} "
+                  f"({handle.plan.query_class.value}) — {query}")
+    if not deployment.sessions():
         raise KSpotError("every workload query was rejected")
-    print()
+    if not as_json:
+        print()
 
-    schedule, board_for = _make_churn(args, network, attribute, field,
-                                      group_of)
-    for _ in server.stream_all(args.epochs, churn=schedule,
-                               board_for=board_for):
-        pass
+    churn = _make_churn(args, network, attribute, field, group_of)
+    driver = EpochDriver(deployment,
+                         interventions=[churn] if churn else ())
+    driver.run(args.epochs)
 
-    rows = []
-    for sid in sorted(server.sessions):
-        session = server.sessions[sid]
-        if session.historic_result is not None:
-            answer = ", ".join(f"{i.key}={i.score:.2f}"
-                               for i in session.historic_result.items[:3])
-            epochs_run = "one-shot"
-        elif session.results:
-            last = session.results[-1]
-            answer = ", ".join(f"{i.key}={i.score:.2f}" for i in last.items)
-            epochs_run = len(session.results)
-        else:
-            answer = "(still acquiring)"
-            epochs_run = 0
-        rows.append([sid, session.plan.algorithm.value, epochs_run, answer,
-                     session.stats.messages, session.stats.payload_bytes])
+    churn_summary = (_churn_summary(network, deployment)
+                     if churn is not None else None)
+    panels = [handle.system_panel for handle in deployment.sessions()
+              if handle.system_panel is not None
+              and handle.system_panel.samples]
+    aggregate = SystemPanel.aggregate(panels) if panels else None
+
+    if as_json:
+        print(json.dumps({
+            "sessions": [_session_json(handle)
+                         for handle in deployment.sessions()],
+            "rejected": rejected,
+            "deployment": _deployment_json(network),
+            "churn": churn_summary,
+            "aggregate_savings": (aggregate.as_dict()
+                                  if aggregate is not None else None),
+        }, indent=2))
+        return 0
+
+    rows = [_workload_row(handle) for handle in deployment.sessions()]
     print(render_table(
         ["session", "algorithm", "epochs", "latest answer",
          "messages", "bytes"], rows))
     print()
-    stats = network.stats
-    samples = sum(network.node(n).samples_taken
-                  for n in network.tree.sensor_ids)
-    print(f"deployment: epoch {network.epoch}, {samples} sensor samples, "
-          f"{stats.messages} messages, {stats.payload_bytes} payload bytes, "
-          f"{stats.radio_joules * 1e3:.2f} mJ radio"
-          + (f" ({rejected} queries rejected)" if rejected else ""))
-    if schedule is not None:
-        _print_churn_summary(network, server)
-    if args.baseline:
-        panels = [s.system_panel for s in server.sessions.values()
-                  if s.system_panel is not None and s.system_panel.samples]
-        if panels:
-            total = SystemPanel.aggregate(panels)
-            print(f"aggregate savings vs per-query TAG shadows: "
-                  f"{total.message_saving_pct:.1f}% messages, "
-                  f"{total.byte_saving_pct:.1f}% bytes, "
-                  f"{total.energy_saving_pct:.1f}% radio energy")
+    summary = _deployment_json(network)
+    print(f"deployment: epoch {summary['epoch']}, "
+          f"{summary['sensor_samples']} sensor samples, "
+          f"{summary['messages']} messages, "
+          f"{summary['payload_bytes']} payload bytes, "
+          f"{summary['radio_joules'] * 1e3:.2f} mJ radio"
+          + (f" ({len(rejected)} queries rejected)" if rejected else ""))
+    if churn_summary is not None:
+        _print_churn_summary(churn_summary)
+    if aggregate is not None:
+        print(f"aggregate savings vs per-query TAG shadows: "
+              f"{aggregate.message_saving_pct:.1f}% messages, "
+              f"{aggregate.byte_saving_pct:.1f}% bytes, "
+              f"{aggregate.energy_saving_pct:.1f}% radio energy")
     return 0
 
 

@@ -50,6 +50,28 @@ class PlanError(QueryError):
     """No execution plan could be produced for a valid query."""
 
 
+class SessionError(PlanError):
+    """Base class of the session-lifecycle taxonomy (``repro.api``).
+
+    Subclasses :class:`PlanError` because the pre-facade server raised
+    ``PlanError`` for every session mishap — existing ``except
+    PlanError`` handlers keep working while new code catches precisely.
+    """
+
+
+class UnknownSessionError(SessionError):
+    """A session id does not name any registered session."""
+
+
+class SubmissionError(SessionError):
+    """A submission was rejected before a session could open (e.g. the
+    deployment's admission limit reached) — the query itself may be
+    perfectly valid. Note it still inherits :class:`QueryError` through
+    the compatibility chain, so catch ``SubmissionError`` *before* a
+    broad ``except QueryError`` to tell admission rejections apart from
+    malformed queries."""
+
+
 class TopologyError(ConfigurationError):
     """The network topology is unusable (e.g. disconnected from the sink)."""
 

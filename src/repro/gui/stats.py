@@ -48,6 +48,22 @@ class SavingsSample:
         """Per-epoch radio-energy saving vs the baseline, in percent."""
         return self._saving(self.radio_joules, self.baseline_radio_joules)
 
+    def as_dict(self) -> dict:
+        """Raw costs plus derived savings, JSON-ready (the CLI's
+        ``--format json`` serialisation of a panel sample)."""
+        return {
+            "epoch": self.epoch,
+            "messages": self.messages,
+            "baseline_messages": self.baseline_messages,
+            "payload_bytes": self.payload_bytes,
+            "baseline_payload_bytes": self.baseline_payload_bytes,
+            "radio_joules": self.radio_joules,
+            "baseline_radio_joules": self.baseline_radio_joules,
+            "message_saving_pct": self.message_saving_pct,
+            "byte_saving_pct": self.byte_saving_pct,
+            "energy_saving_pct": self.energy_saving_pct,
+        }
+
 
 @dataclass(frozen=True)
 class RecoveryRecord:

@@ -69,9 +69,21 @@ def _poisson(rng: random.Random, lam: float) -> int:
 
 @dataclass
 class ChurnSchedule:
-    """An ordered script of node deaths and births."""
+    """An ordered script of node deaths and births.
+
+    The per-epoch lookup (:meth:`due`) keeps a lazily built epoch
+    index, so a driver stepping E epochs over an N-event schedule pays
+    pointer-cheap fingerprint checks instead of re-filtering all N
+    events per epoch. The index rebuilds whenever the ``events`` list
+    no longer holds the same event objects it was built from (append,
+    remove, replace — any mutation).
+    """
 
     events: list[ChurnEvent] = field(default_factory=list)
+    _by_epoch: "dict[int, tuple[ChurnEvent, ...]] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _index_fingerprint: "tuple[ChurnEvent, ...] | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Generators
@@ -168,8 +180,19 @@ class ChurnSchedule:
         return max((e.epoch for e in self.events), default=-1)
 
     def due(self, epoch: int) -> tuple[ChurnEvent, ...]:
-        """Events scheduled for exactly this epoch."""
-        return tuple(e for e in self.events if e.epoch == epoch)
+        """Events scheduled for exactly this epoch (indexed lookup)."""
+        # Value-based fingerprint: ChurnEvent is frozen, so equality is
+        # by content and immune to id() reuse after a pop+append; the
+        # unmutated common case still compares pointer-fast (tuple
+        # equality short-circuits on element identity).
+        fingerprint = tuple(self.events)
+        if self._by_epoch is None or self._index_fingerprint != fingerprint:
+            index: dict[int, list[ChurnEvent]] = {}
+            for event in self.events:
+                index.setdefault(event.epoch, []).append(event)
+            self._by_epoch = {e: tuple(batch) for e, batch in index.items()}
+            self._index_fingerprint = fingerprint
+        return self._by_epoch.get(epoch, ())
 
     # ------------------------------------------------------------------
     # Application

@@ -90,6 +90,24 @@ class Scenario:
         """The cluster a mote dropped next to ``anchor`` belongs to."""
         return self.group_of.get(anchor)
 
+    def deployment(self, **kwargs):
+        """This scenario as a :class:`repro.api.Deployment` (keyword
+        arguments forwarded — ``baseline_factory``, ``display``, ...)."""
+        from .api import Deployment
+
+        return Deployment.from_scenario(self, **kwargs)
+
+    def churn_intervention(self, epochs: int, preset: str = "lively",
+                           seed: int = 0, first_epoch: int = 1):
+        """A :class:`repro.api.ChurnIntervention` over this deployment:
+        a seeded preset schedule with newborn boards wired to this
+        scenario's field (ready to hand to an ``EpochDriver``)."""
+        from .api import ChurnIntervention
+
+        schedule = churn_schedule(self, epochs, preset=preset, seed=seed,
+                                  first_epoch=first_epoch)
+        return ChurnIntervention(schedule, board_for=self.board_for)
+
 
 def _boards_for(node_ids, attribute: str, field: FieldGenerator,
                 quantize: bool = True) -> dict[int, SensorBoard]:

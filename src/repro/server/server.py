@@ -1,34 +1,36 @@
-"""KSpotServer: the modified-TinyDB base station of the demo.
+"""KSpotServer: the deprecated compatibility shim over ``repro.api``.
 
-One server owns one deployed network and serves *many* users at once:
-each submitted SQL-like query is compiled (parse → validate → plan →
-route, §III) into its own :class:`~repro.server.session.QuerySession`,
-and all active sessions ride a single shared epoch clock — every
-sensor board samples once per epoch and every session consumes that
-same reading, so N concurrent queries cost far less than N deployments
-(or N serial runs).
+The server tier's public surface now lives in :mod:`repro.api`, split
+into three composable layers — :class:`~repro.api.Deployment` (network
++ schema + session registry), :class:`~repro.api.EpochDriver` (shared
+clock, step loop, interventions) and :class:`~repro.api.SessionHandle`
+(read-only per-query view). :class:`KSpotServer` remains only so code
+written against the pre-facade god-object keeps running: every legacy
+entry point delegates to the new layers and emits a single
+:class:`DeprecationWarning` per entry point per server instance.
 
-Two driving styles coexist:
+Migration map (old → new):
 
-* the legacy single-query flow (:meth:`KSpotServer.submit` /
-  :meth:`~KSpotServer.run` / :meth:`~KSpotServer.run_historic`), which
-  replaces whatever ran before — the original demo behaviour; and
-* the multi-query flow (:meth:`~KSpotServer.submit_session` /
-  :meth:`~KSpotServer.step_all` / :meth:`~KSpotServer.run_all`), which
-  keeps a registry of concurrent sessions with per-session result
-  streams, per-session traffic attribution, and session lifecycle
-  (cancel, historic completion).
-
-When given a *shadow network* — an identical deployment running the
-TAG baseline — each session also runs there under TAG and keeps its
-own System Panel with the live savings the demo projects on the wall;
-``baseline_factory`` provides a fresh shadow per session so concurrent
-baselines do not share radios.
+=========================================  ==============================
+``KSpotServer(network, ...)``              ``Deployment(network, ...)``
+``submit()`` / ``stream()`` / ``run()``    ``deployment.submit()`` +
+                                           ``handle.watch(driver, ...)``
+``submit_session()``                       ``deployment.submit().id``
+``session(sid)`` / ``cancel(sid)``         ``deployment.session(sid)`` /
+                                           ``deployment.cancel(sid)``
+``step_all()``                             ``driver.step()``
+``stream_all(n, churn=, board_for=)``      ``EpochDriver(deployment,
+                                           interventions=[ChurnIntervention
+                                           (schedule)]).stream(n)``
+``run_all(n)``                             ``driver.run(n)``
+``results`` / ``plan`` / ``engine`` /      typed accessors on the
+``system_panel``                           ``SessionHandle``
+=========================================  ==============================
 """
 
 from __future__ import annotations
 
-from contextlib import ExitStack
+import warnings
 from typing import Callable, Hashable, Iterator, Mapping
 
 from ..core.engine import KSpotEngine
@@ -36,18 +38,25 @@ from ..core.mint import MintConfig
 from ..core.results import EpochResult
 from ..core.tja import TjaResult
 from ..core.tput import TputResult
-from ..errors import PlanError, ValidationError
+from ..errors import PlanError
 from ..gui.panels import DisplayPanel
 from ..network.churn import ChurnSchedule
 from ..network.simulator import Network
-from ..query.plan import Algorithm, LogicalPlan, QueryClass, compile_query
+from ..query.plan import Algorithm, LogicalPlan
 from ..query.validator import Schema
 from .session import QuerySession
 
 
 class KSpotServer:
-    """Query front-door, session registry and panel feeds for one
-    deployment."""
+    """Deprecated: use :class:`repro.api.Deployment` +
+    :class:`repro.api.EpochDriver` + :class:`repro.api.SessionHandle`.
+
+    Thin delegation shim; behaviour matches the legacy server,
+    including the single-query flow where :meth:`submit` replaces every
+    registered session. Legacy accessors (``results``, ``plan``,
+    ``engine``, ``system_panel``) track only the legacy :meth:`submit`
+    — :meth:`submit_session` no longer reassigns them mid-workload.
+    """
 
     def __init__(self, network: Network,
                  schema: Schema | None = None,
@@ -56,106 +65,92 @@ class KSpotServer:
                  baseline_network: Network | None = None,
                  baseline_factory: Callable[[], Network] | None = None,
                  mint_config: MintConfig | None = None):
-        """Args:
-            network: The deployed sensor network.
-            schema: Queryable attributes; derived from the first
-                node's board when omitted.
-            group_of: Cluster mapping (defaults to node groups).
-            display: Optional Display Panel to re-rank each epoch.
-            baseline_network: An identical shadow deployment shared by
-                every session that wants a baseline. Fine for the
-                legacy one-query-at-a-time flow; concurrent sessions
-                should prefer ``baseline_factory``.
-            baseline_factory: Zero-argument callable deploying a fresh
-                shadow network; called once per top-k session so each
-                session's TAG baseline (and System Panel) is isolated.
-            mint_config: Tunables forwarded to MINT-routed sessions.
-        """
-        self.network = network
-        self.schema = schema or self._derive_schema(network)
-        self.group_of = group_of
-        self.display = display
-        self.baseline_network = baseline_network
-        self.baseline_factory = baseline_factory
-        self.mint_config = mint_config
-        #: Session registry: id → session (cancelled ones included
-        #: until explicitly removed; the legacy ``submit`` clears it).
-        self.sessions: dict[int, QuerySession] = {}
-        self._next_session_id = 1
+        # Imported lazily: repro.api builds on repro.server.session, so
+        # a module-level import here would close an import cycle.
+        from ..api.deployment import Deployment
+        from ..api.driver import EpochDriver
+
+        self._deployment = Deployment(
+            network, schema=schema, group_of=group_of, display=display,
+            baseline_factory=baseline_factory,
+            baseline_network=baseline_network, mint_config=mint_config)
+        self._driver = EpochDriver(self._deployment)
         self._current: QuerySession | None = None
-        # Churn detection: every node failure / join on the deployment
-        # is forwarded to the live sessions, which recover at their
-        # next step (see QuerySession's recovery protocol).
-        network.subscribe(self._on_topology_event)
+        self._warned: set[str] = set()
 
-    def _on_topology_event(self, event) -> None:
-        for session in self.sessions.values():
-            session.on_topology_event(event)
+    def _deprecated(self, name: str, replacement: str) -> None:
+        """Warn once per entry point per server instance."""
+        if name in self._warned:
+            return
+        self._warned.add(name)
+        warnings.warn(
+            f"KSpotServer.{name} is deprecated; use {replacement} "
+            f"(see repro.api)", DeprecationWarning, stacklevel=3)
 
-    @staticmethod
-    def _derive_schema(network: Network) -> Schema:
-        for node_id in network.tree.sensor_ids:
-            board = network.node(node_id).board
-            if board is not None:
-                return Schema.for_deployment(board.attributes,
-                                             group_keys=("roomid", "cluster"))
-        raise ValidationError("no sensor board found to derive a schema from")
+    # ------------------------------------------------------------------
+    # Deployment delegation
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        return self._deployment.network
+
+    @property
+    def schema(self) -> Schema:
+        return self._deployment.schema
+
+    @property
+    def group_of(self):
+        return self._deployment.group_of
+
+    @property
+    def display(self):
+        return self._deployment.display
+
+    @property
+    def baseline_network(self):
+        return self._deployment.baseline_network
+
+    @property
+    def baseline_factory(self):
+        return self._deployment.baseline_factory
+
+    @property
+    def mint_config(self):
+        return self._deployment.mint_config
+
+    @property
+    def sessions(self) -> dict[int, QuerySession]:
+        """The live session registry (id → engine-room session)."""
+        return self._deployment._sessions
 
     # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
-
-    def _open_session(self, query_text: str,
-                      algorithm: Algorithm | None) -> QuerySession:
-        _, plan = compile_query(query_text, self.schema, algorithm=algorithm)
-        engine = KSpotEngine(self.network, plan,
-                             group_of=self.group_of,
-                             mint_config=self.mint_config)
-        if plan.query_class is not QueryClass.HISTORIC_VERTICAL:
-            # Instantiate the routed algorithm now: plan/algorithm
-            # incompatibilities (e.g. FILA over cluster ranking) must
-            # reject *this* submission, not kill a later step_all()
-            # that is also driving everyone else's sessions.
-            engine.algorithm
-        baseline_engine = None
-        wants_baseline = (plan.query_class is not QueryClass.HISTORIC_VERTICAL
-                          and plan.k is not None)
-        if wants_baseline:
-            shadow = (self.baseline_factory()
-                      if self.baseline_factory is not None
-                      else self.baseline_network)
-            if shadow is not None:
-                _, baseline_plan = compile_query(query_text, self.schema,
-                                                 algorithm=Algorithm.TAG)
-                baseline_engine = KSpotEngine(shadow, baseline_plan,
-                                              group_of=self.group_of)
-        session = QuerySession(self._next_session_id, self.network, plan,
-                               engine, query_text,
-                               baseline_engine=baseline_engine,
-                               display=self.display)
-        self._next_session_id += 1
-        self.sessions[session.session_id] = session
-        return session
 
     def submit(self, query_text: str,
                algorithm: Algorithm | None = None) -> LogicalPlan:
         """Compile a query and make it *the* query (legacy demo flow).
 
         Cancels and drops every registered session, then opens a fresh
-        one — the original single-engine behaviour. Returns the
-        compiled plan; the session is reachable via
-        :attr:`current_session`. Use :meth:`submit_session` to run
-        queries concurrently instead.
-
-        Opens the new session *before* discarding the old ones, so a
-        rejected query leaves the previous submission untouched and
-        runnable — as the single-engine server always did.
+        one — the original single-engine behaviour. Opens the new
+        session *before* discarding the old ones, so a rejected query
+        leaves the previous submission untouched and runnable.
         """
-        session = self._open_session(query_text, algorithm)
-        for existing in self.sessions.values():
+        self._deprecated(
+            "submit", "Deployment.submit() (sessions are concurrent; "
+            "cancel explicitly if you want replacement)")
+        session = self._deployment._open_session(query_text, algorithm)
+        registry = self._deployment._sessions
+        for existing in list(registry.values()):
             if existing is not session:
                 existing.cancel()
-        self.sessions = {session.session_id: session}
+        registry.clear()
+        registry[session.session_id] = session
+        handles = self._deployment._handles
+        keep = handles[session.session_id]
+        handles.clear()
+        handles[session.session_id] = keep
         self._current = session
         return session.plan
 
@@ -163,96 +158,77 @@ class KSpotServer:
                        algorithm: Algorithm | None = None) -> int:
         """Register one more concurrent query; returns its session id.
 
-        The new session joins the shared epoch clock on the next
-        :meth:`step_all`. Existing sessions keep running.
+        Does *not* reassign the legacy current-session accessors —
+        those track only :meth:`submit`. (Behaviour change vs the
+        pre-facade server, which silently retargeted ``results`` /
+        ``plan`` / ``engine`` on every submission.)
         """
-        session = self._open_session(query_text, algorithm)
-        self._current = session
-        return session.session_id
+        self._deprecated(
+            "submit_session",
+            "Deployment.submit(); note submit_session no longer "
+            "retargets the legacy results/plan/engine accessors — "
+            "read the returned session id instead")
+        return self._deployment.submit(query_text, algorithm=algorithm).id
 
     def session(self, session_id: int) -> QuerySession:
-        """Look up a registered session by id."""
-        try:
-            return self.sessions[session_id]
-        except KeyError:
-            raise PlanError(f"unknown session {session_id}") from None
+        """Look up a registered session by id (raises
+        :class:`~repro.errors.UnknownSessionError`)."""
+        self._deprecated("session", "Deployment.session()")
+        self._deployment.session(session_id)  # raises UnknownSessionError
+        return self._deployment._sessions[session_id]
 
     def cancel(self, session_id: int) -> None:
         """Stop stepping a session (its results remain readable)."""
-        self.session(session_id).cancel()
+        self._deprecated("cancel", "Deployment.cancel()")
+        self._deployment.cancel(session_id)
 
     def active_sessions(self) -> tuple[QuerySession, ...]:
         """Sessions the shared clock still drives, in submission order."""
-        return tuple(self.sessions[sid] for sid in sorted(self.sessions)
-                     if self.sessions[sid].active)
+        self._deprecated("active_sessions", "Deployment.sessions()")
+        return self._deployment.active_sessions()
 
     # ------------------------------------------------------------------
     # Shared-clock driving (multi-query flow)
     # ------------------------------------------------------------------
 
     def step_all(self) -> "dict[int, EpochResult | TjaResult | TputResult | None]":
-        """Run one shared epoch across every active session.
-
-        The deployment clock is held while the sessions execute: each
-        engine closes "its" epoch as usual, the requests coalesce, and
-        the clock ticks exactly once at the end. Sensor boards sample
-        at most once per attribute — later sessions reuse the cached
-        reading. Returns ``{session_id: outcome}``, where the outcome
-        is the epoch result for monitoring sessions, None for
-        still-acquiring historic sessions, and the one-shot answer on
-        a historic session's completing epoch.
-        """
-        active = self.active_sessions()
-        if not active:
-            raise PlanError("no active sessions (nothing submitted?)")
-        outcomes: dict[int, EpochResult | TjaResult | TputResult | None] = {}
-        with ExitStack() as stack:
-            stack.enter_context(self.network.shared_epoch())
-            seen: set[int] = set()
-            for session in active:
-                shadow = session.baseline_network
-                if shadow is not None and id(shadow) not in seen:
-                    seen.add(id(shadow))
-                    stack.enter_context(shadow.shared_epoch())
-            for session in active:
-                outcomes[session.session_id] = session.step()
-        return outcomes
+        """Run one shared epoch across every active session."""
+        self._deprecated("step_all", "EpochDriver.step()")
+        return self._driver.step()
 
     def stream_all(self, epochs: int, churn: "ChurnSchedule | None" = None,
                    board_for: Callable[[int], object] | None = None,
                    ) -> "Iterator[dict[int, EpochResult | TjaResult | TputResult | None]]":
-        """Yield :meth:`step_all` outcomes for up to ``epochs`` epochs,
-        stopping early once no session remains active.
-
-        With a :class:`~repro.network.churn.ChurnSchedule`, the events
-        due at the current shared-clock epoch are applied *before* the
-        epoch runs — sessions detect them, recover, and answer over the
-        surviving population. ``board_for`` supplies newborn boards.
-
-        Churn applies to *this* deployment only: sessions' TAG shadow
-        networks keep their full fleet, so System-Panel savings under
-        churn compare against what the baseline would cost on an
-        intact deployment (an upper bound on the baseline), not
-        against a baseline suffering the same losses.
-        """
-        for _ in range(epochs):
-            if not self.active_sessions():
-                return
-            if churn is not None:
-                churn.apply(self.network, self.network.epoch,
-                            board_for=board_for)
-            yield self.step_all()
+        """Yield one-epoch outcomes for up to ``epochs`` epochs,
+        stopping early once no session remains active. The ``churn=``/
+        ``board_for=`` kwargs wrap into a
+        :class:`~repro.api.ChurnIntervention` on a private driver."""
+        self._deprecated(
+            "stream_all", "EpochDriver(deployment, interventions="
+            "[ChurnIntervention(schedule)]).stream()")
+        return self._stream_all_quiet(epochs, churn, board_for)
 
     def run_all(self, epochs: int, churn: "ChurnSchedule | None" = None,
                 board_for: Callable[[int], object] | None = None,
                 ) -> dict[int, list[EpochResult]]:
         """Drive every session ``epochs`` shared epochs and collect the
-        per-session result streams (historic answers land on
-        ``session.historic_result``)."""
-        for _ in self.stream_all(epochs, churn=churn, board_for=board_for):
+        per-session result streams."""
+        self._deprecated("run_all", "EpochDriver.run()")
+        for _ in self._stream_all_quiet(epochs, churn, board_for):
             pass
         return {sid: list(self.sessions[sid].results)
                 for sid in sorted(self.sessions)}
+
+    def _stream_all_quiet(self, epochs, churn, board_for):
+        from ..api.driver import EpochDriver
+        from ..api.interventions import ChurnIntervention
+
+        interventions = []
+        if churn is not None:
+            interventions.append(ChurnIntervention(churn,
+                                                   board_for=board_for))
+        driver = EpochDriver(self._deployment, interventions=interventions)
+        return driver.stream(epochs)
 
     # ------------------------------------------------------------------
     # Legacy single-session facade
@@ -260,7 +236,9 @@ class KSpotServer:
 
     @property
     def current_session(self) -> QuerySession | None:
-        """The most recently submitted session, if any."""
+        """The session of the last legacy :meth:`submit`, if any."""
+        self._deprecated("current_session", "the SessionHandle returned "
+                         "by Deployment.submit()")
         return self._current
 
     def _require_current(self) -> QuerySession:
@@ -271,53 +249,60 @@ class KSpotServer:
     @property
     def engine(self) -> KSpotEngine | None:
         """The current session's engine (legacy accessor)."""
+        self._deprecated("engine", "SessionHandle accessors")
         return self._current.engine if self._current else None
 
     @property
     def baseline_engine(self) -> KSpotEngine | None:
         """The current session's shadow TAG engine (legacy accessor)."""
+        self._deprecated("baseline_engine", "SessionHandle.system_panel")
         return self._current.baseline_engine if self._current else None
 
     @property
     def system_panel(self):
         """The current session's System Panel (legacy accessor)."""
+        self._deprecated("system_panel", "SessionHandle.system_panel")
         return self._current.system_panel if self._current else None
 
     @property
     def plan(self) -> LogicalPlan | None:
         """The current session's plan (legacy accessor)."""
+        self._deprecated("plan", "SessionHandle.plan")
         return self._current.plan if self._current else None
 
     @property
     def results(self) -> list[EpochResult]:
         """The current session's result stream (legacy accessor)."""
+        self._deprecated("results", "SessionHandle.results")
         return self._current.results if self._current else []
 
     def stream(self, epochs: int) -> Iterator[EpochResult]:
-        """Run the current query, yielding one result per epoch.
-
-        Panels update as results arrive: the Display Panel re-ranks its
-        bullets, the System Panel samples the savings. Historic-vertical
-        queries are one-shot, not streams — run them via
-        :meth:`run_historic` (or step them on the shared clock with
-        :meth:`step_all`).
-        """
+        """Run the current query, yielding one result per epoch."""
+        self._deprecated("stream", "SessionHandle.watch(driver)")
         session = self._require_current()
         if session.is_historic:
             raise PlanError(
                 "historic-vertical queries run via run_historic()")
+        return self._stream_current(session, epochs)
+
+    @staticmethod
+    def _stream_current(session: QuerySession,
+                        epochs: int) -> Iterator[EpochResult]:
         for _ in range(epochs):
             yield session.step()
 
     def run(self, epochs: int) -> list[EpochResult]:
         """Run and collect (non-streaming convenience)."""
-        return list(self.stream(epochs))
+        self._deprecated("run", "EpochDriver.run()")
+        session = self._require_current()
+        if session.is_historic:
+            raise PlanError(
+                "historic-vertical queries run via run_historic()")
+        return list(self._stream_current(session, epochs))
 
     def run_historic(self, acquisition_epochs: int | None = None
                      ) -> "TjaResult | TputResult":
-        """Execute the current historic-vertical query end-to-end.
-
-        Fills the local windows (radio-silent acquisition), then runs
-        the one-shot TJA/TPUT execution.
-        """
+        """Execute the current historic-vertical query end-to-end."""
+        self._deprecated("run_historic", "EpochDriver.run() — historic "
+                         "sessions finish by themselves")
         return self._require_current().run_historic(acquisition_epochs)

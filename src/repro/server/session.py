@@ -52,8 +52,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from typing import Callable
+
 from ..core.results import EpochResult
-from ..errors import PlanError
+from ..errors import PlanError, SessionError
 from ..gui.stats import RecoveryLog, RecoveryRecord, SystemPanel
 from ..network.events import TopologyEvent
 from ..network.stats import NetworkStats
@@ -110,8 +112,16 @@ class QuerySession:
         #: The one-shot answer of a historic-vertical session.
         self.historic_result: "TjaResult | TputResult | None" = None
         self.active = True
+        #: Epochs this session has been stepped (acquisition included).
+        self.steps_taken = 0
         self._acquired_epochs = 0
         self._acquisition_target = plan.window_epochs
+        # Push subscriptions (the api layer's SessionHandle registers
+        # here): result callbacks fire on every appended EpochResult
+        # and on the historic answer; recovery callbacks fire per
+        # recorded recovery pass, always *before* that epoch's result.
+        self._result_callbacks: list[Callable[[object], None]] = []
+        self._recovery_callbacks: list[Callable[[RecoveryRecord], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -133,6 +143,26 @@ class QuerySession:
         if self.baseline_engine is None:
             return None
         return self.baseline_engine.network
+
+    # ------------------------------------------------------------------
+    # Push subscriptions
+    # ------------------------------------------------------------------
+
+    def add_result_callback(self, callback: "Callable[[object], None]"
+                            ) -> None:
+        """Invoke ``callback(result)`` on every result this session
+        produces (each EpochResult, and the one-shot historic answer)."""
+        self._result_callbacks.append(callback)
+
+    def add_recovery_callback(
+            self, callback: "Callable[[RecoveryRecord], None]") -> None:
+        """Invoke ``callback(record)`` on every recovery pass, before
+        the same epoch's result callback fires."""
+        self._recovery_callbacks.append(callback)
+
+    def _publish_result(self, result) -> None:
+        for callback in self._result_callbacks:
+            callback(result)
 
     # ------------------------------------------------------------------
     # Churn recovery
@@ -157,13 +187,16 @@ class QuerySession:
         reprimed = 0
         for event in events:
             reprimed += self.engine.handle_topology_event(event)
-        self.recovery.record(RecoveryRecord(
+        record = RecoveryRecord(
             epoch=self.network.epoch,
             failed=tuple(e.node_id for e in events if e.failed),
             joined=tuple(e.node_id for e in events if e.joined),
             reprimed=reprimed,
             repair_edges=sum(len(e.reattached) for e in events),
-        ))
+        )
+        self.recovery.record(record)
+        for callback in self._recovery_callbacks:
+            callback(record)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -179,9 +212,10 @@ class QuerySession:
         window.
         """
         if not self.active:
-            raise PlanError(
+            raise SessionError(
                 f"session {self.session_id} is no longer active")
         self._recover_pending()
+        self.steps_taken += 1
         if self.is_historic:
             return self._step_historic()
         with self.network.tap_stats(self.stats):
@@ -193,6 +227,7 @@ class QuerySession:
         if self.display is not None:
             self.display.update_ranking(result)
         self.results.append(result)
+        self._publish_result(result)
         return result
 
     def _step_historic(self) -> "TjaResult | TputResult | None":
@@ -216,6 +251,7 @@ class QuerySession:
         with self.network.tap_stats(self.stats):
             self.historic_result = self.engine.execute_historic()
         self.active = False
+        self._publish_result(self.historic_result)
         return self.historic_result
 
     def run_historic(self, acquisition_epochs: int | None = None

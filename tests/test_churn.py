@@ -27,8 +27,8 @@ from repro.scenarios import (
     churn_schedule,
     grid_rooms_scenario,
 )
+from repro.api import ChurnIntervention, Deployment, EpochDriver
 from repro.sensing.modalities import get_modality
-from repro.server import KSpotServer
 
 
 def assert_tree_invariants(network):
@@ -236,6 +236,21 @@ class TestSchedules:
         assert_tree_invariants(net)
         assert schedule.apply(net, 2) == ()
 
+    def test_due_index_tracks_any_mutation(self):
+        """due()'s lazy epoch index must never serve stale events —
+        appends, removals and length-preserving replacements all
+        invalidate it."""
+        schedule = ChurnSchedule([ChurnEvent(1, ChurnKind.DEATH, 5)])
+        assert [e.node_id for e in schedule.due(1)] == [5]
+        schedule.events.append(ChurnEvent(1, ChurnKind.DEATH, 6))
+        assert [e.node_id for e in schedule.due(1)] == [5, 6]
+        # Replace in place: same length, different event.
+        schedule.events[0] = ChurnEvent(3, ChurnKind.DEATH, 7)
+        assert [e.node_id for e in schedule.due(1)] == [6]
+        assert [e.node_id for e in schedule.due(3)] == [7]
+        del schedule.events[0]
+        assert schedule.due(3) == ()
+
 
 class TestChurnInvariants:
     @given(st.data())
@@ -286,13 +301,14 @@ class TestChurnInvariants:
                                                seed=17)
                 schedule = churn_schedule(scenario, epochs, preset="harsh",
                                           seed=seed)
-                server = KSpotServer(scenario.network,
-                                     group_of=scenario.group_of)
-                sids = [server.submit_session(q) for q in queries]
-                server.run_all(epochs, churn=schedule,
-                               board_for=scenario.board_for)
-                for sid in sids:
-                    result = server.session(sid).results[-1]
+                deployment = Deployment.from_scenario(scenario)
+                handles = [deployment.submit(q) for q in queries]
+                EpochDriver(
+                    deployment,
+                    interventions=[ChurnIntervention(schedule)],
+                ).run(epochs)
+                for handle in handles:
+                    result = handle.last_result
                     answers.append(tuple(
                         (i.key, round(i.score, 6)) for i in result.items))
             else:
@@ -301,12 +317,13 @@ class TestChurnInvariants:
                                                    seed=17)
                     schedule = churn_schedule(scenario, epochs,
                                               preset="harsh", seed=seed)
-                    server = KSpotServer(scenario.network,
-                                         group_of=scenario.group_of)
-                    sid = server.submit_session(query)
-                    server.run_all(epochs, churn=schedule,
-                                   board_for=scenario.board_for)
-                    result = server.session(sid).results[-1]
+                    deployment = Deployment.from_scenario(scenario)
+                    handle = deployment.submit(query)
+                    EpochDriver(
+                        deployment,
+                        interventions=[ChurnIntervention(schedule)],
+                    ).run(epochs)
+                    result = handle.last_result
                     answers.append(tuple(
                         (i.key, round(i.score, 6)) for i in result.items))
             return answers
@@ -318,19 +335,19 @@ class TestRecoveryProtocol:
     def test_mint_session_stays_exact_through_churn(self):
         scenario = grid_rooms_scenario(side=5, rooms_per_axis=2, seed=23)
         net = scenario.network
-        server = KSpotServer(net, group_of=scenario.group_of)
-        sid = server.submit_session(
+        deployment = Deployment.from_scenario(scenario)
+        handle = deployment.submit(
             "SELECT TOP 2 roomid, AVG(sound) FROM sensors "
             "GROUP BY roomid EPOCH DURATION 1 min")
         relay = next(n for n in net.tree.children(net.sink_id)
                      if net.tree.children(n))
         schedule = ChurnSchedule([ChurnEvent(2, ChurnKind.DEATH, relay),
                                   ChurnEvent(4, ChurnKind.DEATH, 7)])
+        driver = EpochDriver(deployment,
+                             interventions=[ChurnIntervention(schedule)])
         aggregate = make_aggregate("AVG", 0, 100)
         modality = get_modality("sound")
-        for _ in server.stream_all(7, churn=schedule):
-            session = server.session(sid)
-            result = session.results[-1]
+        for result in handle.watch(driver, epochs=7):
             live = {n: g for n, g in scenario.group_of.items()
                     if net.nodes[n].alive}
             readings = {
@@ -340,7 +357,7 @@ class TestRecoveryProtocol:
             truth = oracle_scores(readings, live, aggregate)
             assert result.exact
             assert is_valid_top_k(result.items, truth, 2, tolerance=1e-6)
-        log = server.session(sid).recovery
+        log = handle.recovery
         assert log.failures == 2
         assert log.reprimed > 0
         assert len(log.records) == 2
@@ -348,8 +365,8 @@ class TestRecoveryProtocol:
     def test_joined_node_enters_the_ranking(self):
         scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=29)
         net = scenario.network
-        server = KSpotServer(net, group_of=scenario.group_of)
-        sid = server.submit_session(
+        deployment = Deployment.from_scenario(scenario)
+        handle = deployment.submit(
             "SELECT TOP 3 nodeid, MAX(sound) FROM sensors "
             "GROUP BY nodeid EPOCH DURATION 1 min")
         anchor = min(net.tree.sensor_ids)
@@ -359,11 +376,11 @@ class TestRecoveryProtocol:
             ChurnEvent(2, ChurnKind.BIRTH, born, position=(ax + 2.0, ay + 2.0),
                        group=scenario.group_of.get(anchor)),
         ])
-        server.run_all(6, churn=schedule, board_for=scenario.board_for)
-        session = server.session(sid)
-        assert session.recovery.joins == 1
+        EpochDriver(deployment,
+                    interventions=[ChurnIntervention(schedule)]).run(6)
+        assert handle.recovery.joins == 1
         # The newborn is a ranked candidate from its first full epoch on.
-        assert born in session.results[-1].all_bounds
+        assert born in handle.last_result.all_bounds
 
     def test_recovery_log_reaches_the_system_panel(self):
         scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=31)
@@ -372,27 +389,27 @@ class TestRecoveryProtocol:
             return grid_rooms_scenario(side=4, rooms_per_axis=2,
                                        seed=31).network
 
-        server = KSpotServer(scenario.network, group_of=scenario.group_of,
-                             baseline_factory=shadow)
-        sid = server.submit_session(
+        deployment = Deployment.from_scenario(scenario,
+                                              baseline_factory=shadow)
+        handle = deployment.submit(
             "SELECT TOP 1 roomid, AVG(sound) FROM sensors "
             "GROUP BY roomid EPOCH DURATION 1 min")
         schedule = ChurnSchedule([ChurnEvent(1, ChurnKind.DEATH, 3)])
-        server.run_all(4, churn=schedule)
-        session = server.session(sid)
-        panel = session.system_panel
+        EpochDriver(deployment,
+                    interventions=[ChurnIntervention(schedule)]).run(4)
+        panel = handle.system_panel
         assert panel is not None
-        assert panel.recovery is session.recovery
+        assert panel.recovery is handle.recovery
         assert panel.recovery.summary()["failures"] == 1
 
     def test_historic_session_survives_acquisition_churn(self):
         scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=37)
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
-        sid = server.submit_session(
+        deployment = Deployment.from_scenario(scenario)
+        handle = deployment.submit(
             "SELECT TOP 3 epoch, AVG(sound) FROM sensors "
             "GROUP BY epoch WITH HISTORY 6 s EPOCH DURATION 1 s")
         schedule = ChurnSchedule([ChurnEvent(2, ChurnKind.DEATH, 5)])
-        server.run_all(8, churn=schedule)
-        session = server.session(sid)
-        assert session.historic_result is not None
-        assert len(session.historic_result.items) == 3
+        EpochDriver(deployment,
+                    interventions=[ChurnIntervention(schedule)]).run(8)
+        assert handle.historic_result is not None
+        assert len(handle.historic_result.items) == 3

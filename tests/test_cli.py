@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -38,6 +40,19 @@ class TestScenarioWorkflow:
                      "GROUP BY epoch WITH HISTORY 10 s"]) == 0
         out = capsys.readouterr().out
         assert "candidates:" in out
+
+    def test_run_historic_tput_table(self, tmp_path, capsys):
+        """TPUT's result has no clean-up rounds; the table still
+        renders."""
+        path = str(tmp_path / "deployment.json")
+        main(["scenario-init", path])
+        assert main(["run", path,
+                     "SELECT TOP 3 epoch, AVERAGE(sound) FROM sensors "
+                     "GROUP BY epoch WITH HISTORY 10 s",
+                     "--algorithm", "tput"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates:" in out
+        assert "clean-up rounds" not in out
 
     def test_run_with_override(self, tmp_path, capsys):
         path = str(tmp_path / "deployment.json")
@@ -138,6 +153,102 @@ class TestWorkload:
         empty = self._write(tmp_path, "# only comments\n\n")
         assert main(["workload", empty]) == 2
         assert "contains no queries" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    """--format json: machine-readable results that round-trip."""
+
+    WORKLOAD = (
+        "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid "
+        "EPOCH DURATION 1 min\n"
+        "tput: SELECT TOP 2 epoch, AVG(sound) FROM sensors "
+        "GROUP BY epoch WITH HISTORY 4 s EPOCH DURATION 1 s\n"
+    )
+
+    def _workload_json(self, tmp_path, capsys, *extra):
+        path = tmp_path / "queries.txt"
+        path.write_text(self.WORKLOAD)
+        assert main(["workload", str(path), "--epochs", "6",
+                     "--side", "4", "--rooms", "2", "--seed", "3",
+                     "--format", "json", *extra]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_workload_json_round_trips(self, tmp_path, capsys):
+        data = self._workload_json(tmp_path, capsys)
+        # Serialisation is lossless: parse → dump → parse is identity.
+        assert json.loads(json.dumps(data)) == data
+        assert data["rejected"] == []
+        monitor, historic = data["sessions"]
+        assert monitor["state"] == "running"
+        assert monitor["algorithm"] == "mint"
+        assert len(monitor["results"]) == 6
+        assert historic["state"] == "finished"
+        assert historic["query_class"] == "historic_vertical"
+        assert len(historic["historic_result"]["items"]) == 2
+        # 16 sensors × 6 shared epochs, sampled once each.
+        assert data["deployment"]["epoch"] == 6
+        assert data["deployment"]["sensor_samples"] == 96
+        assert data["churn"] is None
+
+    def test_workload_json_matches_api_run(self, tmp_path, capsys):
+        """The JSON carries the very results the facade computes: a
+        direct repro.api run over the same seeded deployment agrees."""
+        from repro.api import Deployment, EpochDriver
+        from repro.scenarios import grid_rooms_scenario
+
+        data = self._workload_json(tmp_path, capsys)
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=3)
+        deployment = Deployment.from_scenario(scenario)
+        monitor = deployment.submit(
+            "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY "
+            "roomid EPOCH DURATION 1 min")
+        EpochDriver(deployment).run(6)
+        expected = [{"epoch": r.epoch, "exact": r.exact,
+                     "probed": r.probed,
+                     "items": [{"key": i.key, "score": i.score}
+                               for i in r.items]}
+                    for r in monitor.results]
+        assert data["sessions"][0]["results"] == expected
+        assert data["sessions"][0]["stats"]["messages"] \
+            == monitor.stats.messages
+
+    def test_workload_json_baseline_and_churn_sections(self, tmp_path,
+                                                       capsys):
+        data = self._workload_json(tmp_path, capsys, "--baseline",
+                                   "--churn", "calm")
+        assert data["aggregate_savings"] is not None
+        assert "byte_saving_pct" in data["aggregate_savings"]
+        churn = data["churn"]
+        assert churn["deployed"] == churn["alive"] + churn["dead"]
+        for log in churn["sessions"].values():
+            assert log["events"] == log["failures"] + log["joins"]
+
+    def test_run_json_round_trips(self, tmp_path, capsys):
+        scenario = str(tmp_path / "deployment.json")
+        main(["scenario-init", scenario])
+        capsys.readouterr()
+        assert main(["run", scenario,
+                     "SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
+                     "GROUP BY roomid", "--epochs", "3",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert json.loads(json.dumps(data)) == data
+        assert data["scenario"]["name"] == "my-deployment"
+        assert len(data["session"]["results"]) == 3
+        assert data["session"]["recovery"]["events"] == 0
+
+    def test_run_json_historic(self, tmp_path, capsys):
+        scenario = str(tmp_path / "deployment.json")
+        main(["scenario-init", scenario])
+        capsys.readouterr()
+        assert main(["run", scenario,
+                     "SELECT TOP 3 epoch, AVERAGE(sound) FROM sensors "
+                     "GROUP BY epoch WITH HISTORY 10 s",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["session"]["state"] == "finished"
+        assert len(data["session"]["historic_result"]["items"]) == 3
+        assert data["session"]["historic_result"]["candidates"] >= 3
 
 
 class TestSavings:

@@ -1,16 +1,17 @@
-"""Multi-query sessions: shared clock, exactly-once sampling,
-serial/concurrent equivalence, lifecycle, savings aggregation."""
+"""Multi-query sessions through ``repro.api``: shared clock,
+exactly-once sampling, serial/concurrent equivalence, lifecycle,
+savings aggregation."""
 
 from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import PlanError
+from repro.api import Deployment, EpochDriver, SessionState
+from repro.errors import SessionError, UnknownSessionError
 from repro.gui.stats import SystemPanel
 from repro.query.plan import Algorithm, QueryClass
 from repro.scenarios import conference_scenario, grid_rooms_scenario
-from repro.server import KSpotServer
 
 #: A pool of epoch-mode queries with distinct plans (different
 #: aggregates / k) so concurrent sessions genuinely differ.
@@ -29,10 +30,10 @@ HISTORIC_QUERY = ("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
                   "GROUP BY epoch WITH HISTORY 6 s EPOCH DURATION 1 s")
 
 
-def fresh_server(seed=5):
+def fresh(seed=5):
     scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=seed)
-    return scenario, KSpotServer(scenario.network,
-                                 group_of=scenario.group_of)
+    deployment = Deployment.from_scenario(scenario)
+    return scenario, deployment, EpochDriver(deployment)
 
 
 class TestSerialConcurrentEquivalence:
@@ -49,40 +50,40 @@ class TestSerialConcurrentEquivalence:
         the same N queries each run serially on a fresh deployment."""
         queries = [EPOCH_QUERIES[i] for i in picks]
 
-        _, concurrent = fresh_server(seed)
-        sids = [concurrent.submit_session(q) for q in queries]
-        concurrent.run_all(epochs)
+        _, concurrent, driver = fresh(seed)
+        handles = [concurrent.submit(q) for q in queries]
+        driver.run(epochs)
 
-        for sid, query in zip(sids, queries):
-            _, serial = fresh_server(seed)
-            serial.submit(query)
-            expected = serial.run(epochs)
-            assert concurrent.session(sid).results == expected
+        for handle, query in zip(handles, queries):
+            _, serial, serial_driver = fresh(seed)
+            alone = serial.submit(query)
+            serial_driver.run(epochs)
+            assert handle.results == alone.results
 
     def test_historic_piggybacks_with_same_answer(self):
         """A TJA session sharing the clock with monitoring queries
         answers exactly what a standalone run answers."""
-        _, concurrent = fresh_server(seed=9)
-        concurrent.submit_session(EPOCH_QUERIES[0])
-        hist = concurrent.submit_session(HISTORIC_QUERY)
-        concurrent.run_all(10)
-        shared_answer = concurrent.session(hist).historic_result
+        _, concurrent, driver = fresh(seed=9)
+        concurrent.submit(EPOCH_QUERIES[0])
+        hist = concurrent.submit(HISTORIC_QUERY)
+        driver.run(10)
+        shared_answer = hist.historic_result
 
-        _, standalone = fresh_server(seed=9)
-        standalone.submit(HISTORIC_QUERY)
-        alone_answer = standalone.run_historic()
-        assert shared_answer.items == alone_answer.items
+        _, standalone, alone_driver = fresh(seed=9)
+        alone = standalone.submit(HISTORIC_QUERY)
+        alone_driver.run()
+        assert shared_answer.items == alone.historic_result.items
 
 
 class TestExactlyOnceSampling:
     def test_each_board_samples_once_per_epoch(self):
         """The shared clock emits each sensor sample exactly once per
         epoch no matter how many sessions consume it."""
-        scenario, server = fresh_server(seed=3)
+        scenario, deployment, driver = fresh(seed=3)
         for query in EPOCH_QUERIES:
-            server.submit_session(query)
+            deployment.submit(query)
         epochs = 7
-        server.run_all(epochs)
+        driver.run(epochs)
         network = scenario.network
         assert network.epoch == epochs
         for node_id in network.tree.sensor_ids:
@@ -91,34 +92,34 @@ class TestExactlyOnceSampling:
     def test_windows_hold_one_entry_per_epoch(self):
         """Shared sampling buffers one history entry per epoch — no
         duplicates from the second session's reads."""
-        scenario, server = fresh_server(seed=4)
-        server.submit_session(EPOCH_QUERIES[0])
-        server.submit_session(EPOCH_QUERIES[1])
-        server.run_all(5)
+        scenario, deployment, driver = fresh(seed=4)
+        deployment.submit(EPOCH_QUERIES[0])
+        deployment.submit(EPOCH_QUERIES[1])
+        driver.run(5)
         node = scenario.network.node(1)
         epochs_seen = [entry.epoch for entry in node.window.last(10)]
         assert epochs_seen == sorted(set(epochs_seen)) == [0, 1, 2, 3, 4]
 
     def test_clock_ticks_once_per_step(self):
-        scenario, server = fresh_server(seed=6)
-        server.submit_session(EPOCH_QUERIES[0])
-        server.submit_session(EPOCH_QUERIES[2])
-        server.step_all()
+        scenario, deployment, driver = fresh(seed=6)
+        deployment.submit(EPOCH_QUERIES[0])
+        deployment.submit(EPOCH_QUERIES[2])
+        driver.step()
         assert scenario.network.epoch == 1
-        server.step_all()
+        driver.step()
         assert scenario.network.epoch == 2
 
     def test_idle_energy_charged_once_per_shared_epoch(self):
         """Deferred advance charges idle energy for one epoch, not one
         per session."""
-        one_scn, one_srv = fresh_server(seed=8)
-        one_srv.submit_session(EPOCH_QUERIES[0])
-        one_srv.run_all(4)
+        one_scn, one_dep, one_drv = fresh(seed=8)
+        one_dep.submit(EPOCH_QUERIES[0])
+        one_drv.run(4)
 
-        many_scn, many_srv = fresh_server(seed=8)
+        many_scn, many_dep, many_drv = fresh(seed=8)
         for query in EPOCH_QUERIES[:3]:
-            many_srv.submit_session(query)
-        many_srv.run_all(4)
+            many_dep.submit(query)
+        many_drv.run(4)
 
         node_one = one_scn.network.node(1)
         node_many = many_scn.network.node(1)
@@ -127,128 +128,92 @@ class TestExactlyOnceSampling:
 
 
 class TestSessionLifecycle:
-    def test_submit_session_returns_distinct_ids(self):
-        _, server = fresh_server()
-        a = server.submit_session(EPOCH_QUERIES[0])
-        b = server.submit_session(EPOCH_QUERIES[1])
-        assert a != b
-        assert server.session(a).plan.algorithm is Algorithm.MINT
-        assert server.session(b).query_text == EPOCH_QUERIES[1]
+    def test_submit_returns_distinct_ids(self):
+        _, deployment, _ = fresh()
+        a = deployment.submit(EPOCH_QUERIES[0])
+        b = deployment.submit(EPOCH_QUERIES[1])
+        assert a.id != b.id
+        assert deployment.session(a.id).algorithm is Algorithm.MINT
+        assert deployment.session(b.id).query_text == EPOCH_QUERIES[1]
 
     def test_cancel_stops_stepping(self):
-        _, server = fresh_server()
-        a = server.submit_session(EPOCH_QUERIES[0])
-        b = server.submit_session(EPOCH_QUERIES[1])
-        server.step_all()
-        server.cancel(a)
-        outcomes = server.step_all()
-        assert a not in outcomes and b in outcomes
-        assert len(server.session(a).results) == 1
-        assert len(server.session(b).results) == 2
-        with pytest.raises(PlanError, match="no longer active"):
-            server.session(a).step()
+        _, deployment, driver = fresh()
+        a = deployment.submit(EPOCH_QUERIES[0])
+        b = deployment.submit(EPOCH_QUERIES[1])
+        driver.step()
+        deployment.cancel(a.id)
+        outcomes = driver.step()
+        assert a.id not in outcomes and b.id in outcomes
+        assert len(a.results) == 1
+        assert len(b.results) == 2
+        assert a.state is SessionState.CANCELLED
 
-    def test_step_all_without_sessions_rejected(self):
-        _, server = fresh_server()
-        with pytest.raises(PlanError, match="no active sessions"):
-            server.step_all()
+    def test_step_without_sessions_rejected(self):
+        _, _, driver = fresh()
+        with pytest.raises(SessionError, match="no active sessions"):
+            driver.step()
 
     def test_unknown_session_rejected(self):
-        _, server = fresh_server()
-        with pytest.raises(PlanError, match="unknown session"):
-            server.session(99)
+        _, deployment, _ = fresh()
+        with pytest.raises(UnknownSessionError, match="unknown session"):
+            deployment.session(99)
 
-    def test_historic_session_finishes_and_stream_all_stops(self):
-        _, server = fresh_server()
-        sid = server.submit_session(HISTORIC_QUERY)
-        session = server.session(sid)
-        assert session.is_historic
-        assert session.plan.query_class is QueryClass.HISTORIC_VERTICAL
-        ticks = list(server.stream_all(50))
+    def test_historic_session_finishes_and_stream_stops(self):
+        _, deployment, driver = fresh()
+        handle = deployment.submit(HISTORIC_QUERY)
+        assert handle.is_historic
+        assert handle.plan.query_class is QueryClass.HISTORIC_VERTICAL
+        ticks = list(driver.stream(50))
         # 6-epoch window: five acquiring steps then the completing one.
         assert len(ticks) == 6
-        assert ticks[-1][sid] is session.historic_result
-        assert session.finished and not session.active
-
-    def test_legacy_submit_discards_sessions(self):
-        """The single-query facade still behaves like the old server:
-        submit replaces everything."""
-        _, server = fresh_server()
-        server.submit_session(EPOCH_QUERIES[0])
-        server.submit_session(EPOCH_QUERIES[1])
-        plan = server.submit(EPOCH_QUERIES[2])
-        assert plan.algorithm is Algorithm.MINT
-        assert len(server.sessions) == 1
-        assert server.results == []
-        server.run(2)
-        assert len(server.results) == 2
-
-
-class TestLegacyFacadeEdges:
-    def test_failed_resubmit_keeps_previous_query_runnable(self):
-        """A rejected submit must not tear down the running query —
-        single-engine behaviour."""
-        from repro.errors import QueryError
-
-        _, server = fresh_server()
-        server.submit(EPOCH_QUERIES[0])
-        server.run(2)
-        with pytest.raises(QueryError):
-            server.submit("SELECT AVG(humidity) FROM sensors")
-        assert server.current_session.active
-        results = server.run(1)
-        assert len(server.results) == 3 and results[0].epoch == 2
-
-    def test_legacy_stream_rejects_historic(self):
-        """The old server raised on stream()ing a one-shot query; the
-        facade still does."""
-        _, server = fresh_server()
-        server.submit(HISTORIC_QUERY)
-        with pytest.raises(PlanError, match="run_historic"):
-            server.run(3)
+        assert ticks[-1][handle.id] is handle.historic_result
+        assert handle.state is SessionState.FINISHED
 
     def test_run_historic_zero_acquisition_executes_in_place(self):
-        """acquisition_epochs=0 executes over already-buffered windows
-        without sampling or advancing the clock (fill_windows(0)
-        semantics)."""
-        scenario, server = fresh_server(seed=2)
-        server.submit_session(EPOCH_QUERIES[0])
-        hist = server.submit_session(HISTORIC_QUERY)
+        """Windows already filled by the shared clock execute without
+        further sampling or epoch advance (fill_windows(0) semantics)."""
+        scenario, deployment, driver = fresh(seed=2)
+        deployment.submit(EPOCH_QUERIES[0])
+        hist = deployment.submit(HISTORIC_QUERY)
         for _ in range(6):
-            server.step_all()
+            driver.step()
         epoch_before = scenario.network.epoch
-        answer = server.session(hist).historic_result
+        answer = hist.historic_result
         assert answer is not None
         assert scenario.network.epoch == epoch_before
 
-        _, standalone = fresh_server(seed=2)
-        standalone.submit(HISTORIC_QUERY)
-        standalone.current_session.engine.fill_windows(6)
+        # The engine-room equivalent: pre-filled windows, zero extra
+        # acquisition, same answer.
+        _, standalone, _ = fresh(seed=2)
+        alone = standalone.submit(HISTORIC_QUERY)
+        session = standalone.active_sessions()[0]
+        session.engine.fill_windows(6)
         net = standalone.network
         epoch_before = net.epoch
-        result = standalone.run_historic(acquisition_epochs=0)
+        result = session.run_historic(acquisition_epochs=0)
         assert net.epoch == epoch_before
         assert result.items == answer.items
+        assert alone.state is SessionState.FINISHED
 
     def test_nested_stat_taps_unregister_by_identity(self):
         """Equal-but-distinct NetworkStats ledgers must not release
         each other's tap."""
         from repro.network.stats import NetworkStats
 
-        scenario, server = fresh_server(seed=2)
-        server.submit_session(EPOCH_QUERIES[0])
+        scenario, deployment, driver = fresh(seed=2)
+        deployment.submit(EPOCH_QUERIES[0])
         outer, inner = NetworkStats(), NetworkStats()
         network = scenario.network
         with network.tap_stats(outer):
             with network.tap_stats(inner):
                 pass  # both ledgers equal and empty here
-            server.step_all()
+            driver.step()
         assert inner.messages == 0
         assert outer.messages > 0
 
 
 class TestMultiAttributeBoards:
-    def _two_channel_server(self, seed=21):
+    def _two_channel_deployment(self, seed=21):
         """A deployment whose boards carry two channels."""
         from repro.network.simulator import Network
         from repro.network.topology import Topology
@@ -269,21 +234,22 @@ class TestMultiAttributeBoards:
         network = Network(topology, boards=boards,
                           group_of={n: f"R{n % 2}" for n in positions
                                     if n != 0})
-        return network, KSpotServer(network)
+        return network, Deployment(network)
 
     def test_per_attribute_windows_do_not_interleave(self):
         """A historic query on one channel sharing the clock with a
         monitoring query on another must rank only its own channel's
         readings."""
-        network, server = self._two_channel_server()
-        server.submit_session(
+        network, deployment = self._two_channel_deployment()
+        driver = EpochDriver(deployment)
+        deployment.submit(
             "SELECT TOP 1 roomid, AVG(sound) FROM sensors "
             "GROUP BY roomid EPOCH DURATION 1 min")
-        hist = server.submit_session(
+        hist = deployment.submit(
             "SELECT TOP 2 epoch, AVG(temperature) FROM sensors "
             "GROUP BY epoch WITH HISTORY 5 s EPOCH DURATION 1 s")
-        server.run_all(5)
-        shared = server.session(hist).historic_result
+        driver.run(5)
+        shared = hist.historic_result
         assert shared is not None
 
         node = network.node(1)
@@ -293,11 +259,12 @@ class TestMultiAttributeBoards:
         assert sound != temp
         assert all(-10 <= v <= 60 for v in temp)
 
-        alone_net, alone_srv = self._two_channel_server()
-        alone_srv.submit(
+        _, alone_dep = self._two_channel_deployment()
+        alone = alone_dep.submit(
             "SELECT TOP 2 epoch, AVG(temperature) FROM sensors "
             "GROUP BY epoch WITH HISTORY 5 s EPOCH DURATION 1 s")
-        assert alone_srv.run_historic().items == shared.items
+        EpochDriver(alone_dep).run()
+        assert alone.historic_result.items == shared.items
 
     def test_flash_history_not_used_for_interleaved_attributes(self):
         """With flash attached, attribute-specific history must come
@@ -306,33 +273,34 @@ class TestMultiAttributeBoards:
         from repro.storage.flash import FlashModel
         from repro.storage.microhash import MicroHashIndex
 
-        network, server = self._two_channel_server(seed=33)
+        network, deployment = self._two_channel_deployment(seed=33)
+        driver = EpochDriver(deployment)
         for node_id in network.tree.sensor_ids:
             network.node(node_id).attach_flash(
                 MicroHashIndex(FlashModel(page_bytes=64, pages=256),
                                -10.0, 1000.0))
-        server.submit_session(
+        deployment.submit(
             "SELECT TOP 1 roomid, AVG(sound) FROM sensors "
             "GROUP BY roomid EPOCH DURATION 1 min")
-        hist = server.submit_session(
+        hist = deployment.submit(
             "SELECT TOP 2 epoch, AVG(temperature) FROM sensors "
             "GROUP BY epoch WITH HISTORY 5 s EPOCH DURATION 1 s")
-        server.run_all(5)
+        driver.run(5)
         node = network.node(1)
         entries = node.history(5, attribute="temperature")
         assert [e.value for e in entries] == \
             [e.value for e in node.window_for("temperature").last(5)]
-        answer = server.session(hist).historic_result
+        answer = hist.historic_result
         assert all(-10 <= item.score <= 60 for item in answer.items)
 
 
 class TestPerSessionAccounting:
     def test_session_stats_partition_the_global_ledger(self):
         """Every shipped message is attributed to exactly one session."""
-        scenario, server = fresh_server(seed=12)
-        sids = [server.submit_session(q) for q in EPOCH_QUERIES[:3]]
-        server.run_all(6)
-        per_session = [server.session(sid).stats for sid in sids]
+        scenario, deployment, driver = fresh(seed=12)
+        handles = [deployment.submit(q) for q in EPOCH_QUERIES[:3]]
+        driver.run(6)
+        per_session = [handle.stats for handle in handles]
         total = scenario.network.stats
         assert sum(s.messages for s in per_session) == total.messages
         assert sum(s.payload_bytes for s in per_session) == \
@@ -343,12 +311,14 @@ class TestPerSessionAccounting:
             return conference_scenario(seed=7).network
 
         scenario = conference_scenario(seed=7)
-        server = KSpotServer(scenario.network, group_of=scenario.group_of,
-                             baseline_factory=factory)
+        deployment = Deployment.from_scenario(scenario,
+                                              baseline_factory=factory)
+        driver = EpochDriver(deployment)
         for query in EPOCH_QUERIES[:2]:
-            server.submit_session(query)
-        server.run_all(5)
-        panels = [s.system_panel for s in server.sessions.values()]
+            deployment.submit(query)
+        driver.run(5)
+        panels = [handle.system_panel
+                  for handle in deployment.sessions()]
         assert all(panel is not None and len(panel.samples) == 5
                    for panel in panels)
         fleet = SystemPanel.aggregate(panels)

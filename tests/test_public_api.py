@@ -16,25 +16,29 @@ class TestTopLevelExports:
 
     def test_one_liner_workflow(self):
         scenario = repro.figure1_scenario()
-        server = repro.KSpotServer(scenario.network,
-                                   group_of=scenario.group_of)
-        server.submit("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
-                      "GROUP BY roomid")
-        result = server.run(1)[0]
-        assert result.top.key == "C"
+        deployment = repro.Deployment.from_scenario(scenario)
+        handle = deployment.submit(
+            "SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors "
+            "GROUP BY roomid")
+        repro.EpochDriver(deployment).run(1)
+        assert handle.last_result.top.key == "C"
+        assert handle.state is repro.SessionState.RUNNING
 
     def test_errors_share_a_base(self):
         from repro.errors import (
             KSpotError, LexError, ParseError, PlanError, ProtocolError,
-            RoutingError, ScenarioError, StorageError, StorageFullError,
-            TopologyError, ValidationError,
+            RoutingError, ScenarioError, SessionError, StorageError,
+            StorageFullError, SubmissionError, TopologyError,
+            UnknownSessionError, ValidationError,
         )
 
         for exc in (LexError("x", 0, 1, 1), ParseError("x"),
                     ValidationError("x"), PlanError("x"),
                     TopologyError("x"), RoutingError("x"),
                     StorageError("x"), StorageFullError("x"),
-                    ProtocolError("x"), ScenarioError("x")):
+                    ProtocolError("x"), ScenarioError("x"),
+                    SessionError("x"), UnknownSessionError("x"),
+                    SubmissionError("x")):
             assert isinstance(exc, KSpotError)
 
 

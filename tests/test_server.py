@@ -1,39 +1,75 @@
-"""KSpotServer: submission, streaming, panels, savings."""
+"""The deprecated ``KSpotServer`` shim: every legacy entry point still
+behaves exactly like the pre-facade server, delegates to the
+``repro.api`` layers, and warns — exactly once per entry point per
+server instance.
+
+These are the only first-party callers of the legacy facade; the rest
+of the repo runs with ``KSpotServer`` deprecation warnings promoted to
+errors (see pytest.ini), so every usage here is deliberately wrapped.
+"""
+
+import warnings
 
 import pytest
 
-from repro.errors import PlanError, QueryError
+from repro.errors import PlanError, QueryError, UnknownSessionError
 from repro.gui import DisplayPanel
 from repro.query.plan import Algorithm
-from repro.scenarios import conference_scenario, figure1_scenario
+from repro.scenarios import (
+    conference_scenario,
+    figure1_scenario,
+    grid_rooms_scenario,
+)
 from repro.server import KSpotServer
+
+MONITOR = ("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+           "GROUP BY roomid EPOCH DURATION 1 min")
+MONITOR_MAX = ("SELECT TOP 1 roomid, MAX(sound) FROM sensors "
+               "GROUP BY roomid EPOCH DURATION 1 min")
+HISTORIC = ("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+            "GROUP BY epoch WITH HISTORY 6 s EPOCH DURATION 1 s")
+
+
+@pytest.fixture(autouse=True)
+def _legacy_warnings_allowed():
+    """Shim tests exercise the deprecated surface on purpose."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("always", DeprecationWarning)
+        yield
+
+
+def figure1_server():
+    scenario = figure1_scenario()
+    return KSpotServer(scenario.network, group_of=scenario.group_of)
+
+
+def grid_server(seed=5):
+    scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=seed)
+    return scenario, KSpotServer(scenario.network,
+                                 group_of=scenario.group_of)
 
 
 class TestSubmission:
     def test_schema_derived_from_boards(self):
-        scenario = figure1_scenario()
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server = figure1_server()
         plan = server.submit("SELECT TOP 1 roomid, AVERAGE(sound) "
                              "FROM sensors GROUP BY roomid")
         assert plan.algorithm is Algorithm.MINT
 
     def test_invalid_query_rejected(self):
-        scenario = figure1_scenario()
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server = figure1_server()
         with pytest.raises(QueryError):
             server.submit("SELECT AVG(humidity) FROM sensors")
 
     def test_run_before_submit_rejected(self):
-        scenario = figure1_scenario()
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server = figure1_server()
         with pytest.raises(PlanError, match="no query"):
             server.run(1)
 
 
 class TestStreaming:
     def test_results_collected(self):
-        scenario = figure1_scenario()
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server = figure1_server()
         server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
                       "GROUP BY roomid EPOCH DURATION 1 min")
         results = server.run(3)
@@ -46,7 +82,8 @@ class TestStreaming:
         display = DisplayPanel(
             width=50, height=30,
             positions={n: (min(p[0], 50), min(max(p[1], 0), 30))
-                       for n, p in scenario.network.topology.positions.items()},
+                       for n, p in
+                       scenario.network.topology.positions.items()},
             cluster_of=dict(scenario.group_of))
         server = KSpotServer(scenario.network, group_of=scenario.group_of,
                              display=display)
@@ -57,8 +94,7 @@ class TestStreaming:
         assert display.bullets[0].rank == 1
 
     def test_resubmit_resets_results(self):
-        scenario = figure1_scenario()
-        server = KSpotServer(scenario.network, group_of=scenario.group_of)
+        server = figure1_server()
         server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
                       "GROUP BY roomid")
         server.run(2)
@@ -90,8 +126,8 @@ class TestSavingsPanel:
                              baseline_network=shadow.network)
         server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
                       "GROUP BY roomid EPOCH DURATION 1 min")
-        for result in server.stream(5):
-            baseline_result = server.baseline_engine.algorithm  # noqa: F841
+        for _result in server.stream(5):
+            assert server.baseline_engine is not None
         # The shadow ran the same number of epochs.
         assert shadow.network.epoch == scenario.network.epoch
 
@@ -105,3 +141,168 @@ class TestHistoricLifecycle:
         result = server.run_historic()
         assert len(result.items) == 3
         assert result.items[0].score >= result.items[-1].score
+
+    def test_legacy_stream_rejects_historic(self):
+        """The old server raised on stream()ing a one-shot query; the
+        shim still does."""
+        _, server = grid_server()
+        server.submit(HISTORIC)
+        with pytest.raises(PlanError, match="run_historic"):
+            server.run(3)
+
+
+class TestLegacyFlowSemantics:
+    def test_legacy_submit_discards_sessions(self):
+        """The single-query facade still behaves like the old server:
+        submit replaces everything."""
+        _, server = grid_server()
+        server.submit_session(MONITOR)
+        server.submit_session(MONITOR_MAX)
+        plan = server.submit(
+            "SELECT TOP 3 roomid, SUM(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min")
+        assert plan.algorithm is Algorithm.MINT
+        assert len(server.sessions) == 1
+        assert server.results == []
+        server.run(2)
+        assert len(server.results) == 2
+
+    def test_failed_resubmit_keeps_previous_query_runnable(self):
+        """A rejected submit must not tear down the running query —
+        single-engine behaviour."""
+        _, server = grid_server()
+        server.submit(MONITOR)
+        server.run(2)
+        with pytest.raises(QueryError):
+            server.submit("SELECT AVG(humidity) FROM sensors")
+        assert server.current_session.active
+        results = server.run(1)
+        assert len(server.results) == 3 and results[0].epoch == 2
+
+    def test_submit_session_does_not_reassign_legacy_accessors(self):
+        """Regression: submit_session() used to silently retarget
+        ``results``/``plan``/``engine``, changing their meaning
+        mid-workload. Legacy accessors track only legacy submit()."""
+        _, server = grid_server()
+        server.submit(MONITOR)
+        server.run(2)
+        legacy_plan = server.plan
+        sid = server.submit_session(MONITOR_MAX)
+        assert server.plan is legacy_plan
+        assert server.current_session is not server.session(sid)
+        assert len(server.results) == 2
+        # And with no legacy submit at all, the accessors stay empty.
+        _, fresh_server = grid_server()
+        fresh_server.submit_session(MONITOR)
+        assert fresh_server.results == []
+        assert fresh_server.plan is None
+        assert fresh_server.engine is None
+        assert fresh_server.system_panel is None
+
+    def test_unknown_session_raises_precise_error(self):
+        _, server = grid_server()
+        with pytest.raises(UnknownSessionError, match="unknown session"):
+            server.session(99)
+        # Legacy handlers that caught PlanError keep working.
+        with pytest.raises(PlanError):
+            server.session(99)
+
+    def test_churn_kwargs_still_apply(self):
+        """stream_all(churn=, board_for=) wraps into a
+        ChurnIntervention under the hood."""
+        from repro.network.churn import (
+            ChurnEvent,
+            ChurnKind,
+            ChurnSchedule,
+        )
+
+        scenario, server = grid_server(seed=23)
+        tree = scenario.network.tree
+        victim = next(n for n in tree.sensor_ids if tree.is_leaf(n))
+        schedule = ChurnSchedule([ChurnEvent(2, ChurnKind.DEATH, victim)])
+        sid = server.submit_session(MONITOR)
+        server.run_all(4, churn=schedule, board_for=scenario.board_for)
+        session = server.session(sid)
+        assert len(session.results) == 4
+        assert session.recovery.failures == 1
+        assert not scenario.network.nodes[victim].alive
+
+
+class TestDeprecationWarnings:
+    """Every legacy entry point warns exactly once per server instance
+    and still returns correct values."""
+
+    def _warns(self, recorder, name):
+        return [w for w in recorder
+                if issubclass(w.category, DeprecationWarning)
+                and str(w.message).startswith(f"KSpotServer.{name} ")]
+
+    def test_each_entry_point_warns_exactly_once(self):
+        scenario, server = grid_server()
+        shadow_scenario, _ = grid_server()
+
+        with warnings.catch_warnings(record=True) as recorder:
+            warnings.simplefilter("always")
+            server.submit(MONITOR)          # 1st use warns...
+            server.submit(MONITOR_MAX)      # ...2nd use is silent
+            server.run(2)
+            server.run(1)
+            list(server.stream(1))
+            sid = server.submit_session(MONITOR)
+            server.submit_session(MONITOR_MAX)
+            server.session(sid)
+            server.step_all()
+            for _ in server.stream_all(1):
+                pass
+            server.run_all(1)
+            server.cancel(sid)
+            server.active_sessions()
+            _ = server.results
+            _ = server.results
+            _ = server.plan
+            _ = server.engine
+            _ = server.baseline_engine
+            _ = server.system_panel
+            _ = server.current_session
+
+        for name in ("submit", "run", "stream", "submit_session",
+                     "session", "step_all", "stream_all", "run_all",
+                     "cancel", "active_sessions", "results", "plan",
+                     "engine", "baseline_engine", "system_panel",
+                     "current_session"):
+            assert len(self._warns(recorder, name)) == 1, (
+                f"KSpotServer.{name} should warn exactly once")
+
+    def test_fresh_instance_warns_again(self):
+        """The once-per-entry-point ledger is per instance, so every
+        consumer of the legacy API gets its own nudge."""
+        for _ in range(2):
+            _, server = grid_server()
+            with pytest.warns(DeprecationWarning,
+                              match="KSpotServer.submit is deprecated"):
+                server.submit(MONITOR)
+
+    def test_run_historic_warns_and_answers(self):
+        _, server = grid_server()
+        with pytest.warns(DeprecationWarning,
+                          match="KSpotServer.submit"):
+            server.submit(HISTORIC)
+        with pytest.warns(DeprecationWarning,
+                          match="KSpotServer.run_historic"):
+            result = server.run_historic()
+        assert len(result.items) == 3
+
+    def test_shim_matches_api_answers(self):
+        """Delegation is faithful: the shim and the facade produce
+        bit-identical results on the same seeded deployment."""
+        from repro.api import Deployment, EpochDriver
+
+        _, server = grid_server(seed=31)
+        server.submit(MONITOR)
+        legacy = server.run(4)
+
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=31)
+        deployment = Deployment.from_scenario(scenario)
+        handle = deployment.submit(MONITOR)
+        EpochDriver(deployment).run(4)
+        assert tuple(legacy) == handle.results
