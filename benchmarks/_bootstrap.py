@@ -8,11 +8,21 @@ is already importable, e.g. under ``PYTHONPATH=src pytest``).
 
 Also provides :func:`main` — the uniform ``__main__`` runner that
 executes a benchmark file's tests through pytest (with the benchmark
-fixture provided by pytest-benchmark) and prints the report tables.
+fixture provided by pytest-benchmark) and prints the report tables —
+and the shared BENCH writer: every table a benchmark prints through the
+``table`` fixture is also recorded into a schema-versioned
+``BENCH_<experiment>.json`` (via :func:`record_table` /
+:func:`write_bench`), so each e1–e13 run leaves a machine-readable
+artifact next to the human-readable report. ``BENCH_OUTPUT_DIR``
+overrides the destination directory (default: the repo root).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import re
 import sys
 from pathlib import Path
 
@@ -22,6 +32,68 @@ if str(_SRC) not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, str(_SRC))
+
+#: Envelope version for every BENCH_e*.json (bump on layout changes).
+BENCH_SCHEMA = "kspot-bench/1"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Experiment tag at the head of a report title ("E11: ..." → e11).
+_EXPERIMENT_RE = re.compile(r"^(E\d+)[a-z]?\b")
+
+#: Tables accumulated per experiment over one process (a benchmark may
+#: print several tables; the file is rewritten with all of them).
+_tables: dict[str, list[dict]] = {}
+
+
+def bench_output_dir() -> Path:
+    """Where BENCH_*.json files land (``BENCH_OUTPUT_DIR`` or repo root)."""
+    return Path(os.environ.get("BENCH_OUTPUT_DIR", _REPO_ROOT))
+
+
+def write_bench(experiment: str, data: dict) -> Path:
+    """Write one experiment's machine-readable report.
+
+    ``data`` is wrapped in the schema envelope (schema tag, experiment
+    id, python/platform) and written to ``BENCH_<experiment>.json``.
+    """
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "experiment": experiment,
+        "platform": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        **data,
+    }
+    path = bench_output_dir() / f"BENCH_{experiment}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8")
+    return path
+
+
+def record_table(title: str, headers, rows) -> Path | None:
+    """Record one printed report table into its experiment's BENCH file.
+
+    Called by the benchmarks' shared ``table`` fixture; titles that do
+    not start with an experiment tag ("E7: ...") are ignored.
+    """
+    match = _EXPERIMENT_RE.match(title.strip())
+    if match is None:
+        return None
+    experiment = match.group(1).lower()
+    tables = _tables.setdefault(experiment, [])
+    entry = {"title": title, "headers": list(headers),
+             "rows": [list(row) for row in rows]}
+    for index, existing in enumerate(tables):
+        if existing["title"] == title:  # re-run: replace, don't append
+            tables[index] = entry
+            break
+    else:
+        tables.append(entry)
+    return write_bench(experiment, {"tables": tables})
 
 
 def main(bench_file: str) -> int:

@@ -1,0 +1,121 @@
+"""CI gate: fail when the hot path regresses against the committed
+perf trajectory.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BENCH_perf.json \
+        [--trajectory benchmarks/perf_trajectory.json] \
+        [--at 100] [--tolerance 0.20]
+
+The committed trajectory stores, per fleet size, the hot path's
+epochs/sec and its speedup over the in-tree reference path, as measured
+when the trajectory was last refreshed. Absolute epochs/sec are not
+comparable across machines (a cold CI runner is easily 2× slower than
+the laptop that wrote the file), so the gate is **machine-normalized**:
+the fresh run's ``speedup_vs_reference`` at the gated fleet size must
+not fall more than ``--tolerance`` (default 20 %) below the committed
+speedup. Both runs execute on the same host within the same process,
+so the ratio cancels host speed and isolates genuine hot-path
+regressions. Absolute epochs/sec are printed for the record.
+
+Refresh the trajectory deliberately with::
+
+    PYTHONPATH=src python -m repro perf --compare-reference
+    python benchmarks/check_perf_regression.py BENCH_perf.json --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TRAJECTORY = Path(__file__).resolve().parent / "perf_trajectory.json"
+
+TRAJECTORY_SCHEMA = "kspot-perf-trajectory/1"
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found")
+    except json.JSONDecodeError as error:
+        sys.exit(f"error: {path} is not valid JSON: {error}")
+
+
+def sample_at(report: dict, n_nodes: int) -> dict:
+    for sample in report.get("results", ()):
+        if sample.get("n_nodes") == n_nodes:
+            return sample
+    sys.exit(f"error: report has no sample at N={n_nodes} "
+             f"(sizes: {[s.get('n_nodes') for s in report.get('results', ())]})")
+
+
+def write_trajectory(report: dict, path: Path) -> None:
+    trajectory = {
+        "schema": TRAJECTORY_SCHEMA,
+        "source_schema": report.get("schema"),
+        "workload": report.get("workload"),
+        "results": [
+            {
+                "n_nodes": sample["n_nodes"],
+                "epochs_per_sec": sample["epochs_per_sec"],
+                "speedup_vs_reference": sample.get("speedup_vs_reference"),
+            }
+            for sample in report.get("results", ())
+        ],
+    }
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="fresh BENCH_perf.json to check")
+    parser.add_argument("--trajectory", type=Path,
+                        default=DEFAULT_TRAJECTORY)
+    parser.add_argument("--at", type=int, default=100,
+                        help="fleet size the gate inspects")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup regression")
+    parser.add_argument("--write", action="store_true",
+                        help="refresh the trajectory from the report "
+                             "instead of gating")
+    args = parser.parse_args(argv)
+
+    report = load(Path(args.report))
+    if args.write:
+        write_trajectory(report, args.trajectory)
+        return 0
+
+    trajectory = load(args.trajectory)
+    fresh = sample_at(report, args.at)
+    committed = sample_at(trajectory, args.at)
+
+    fresh_speedup = fresh.get("speedup_vs_reference")
+    committed_speedup = committed.get("speedup_vs_reference")
+    print(f"N={args.at}: fresh {fresh['epochs_per_sec']:.2f} epochs/s "
+          f"(committed {committed['epochs_per_sec']:.2f} on its host)")
+    if fresh_speedup is None:
+        sys.exit("error: report lacks speedup_vs_reference — run "
+                 "`repro perf --compare-reference`")
+    if committed_speedup is None:
+        sys.exit("error: trajectory lacks speedup_vs_reference — refresh "
+                 "it with --write from a --compare-reference run")
+
+    floor = (1.0 - args.tolerance) * committed_speedup
+    print(f"N={args.at}: speedup vs reference {fresh_speedup:.2f}x "
+          f"(committed {committed_speedup:.2f}x, floor {floor:.2f}x)")
+    if fresh_speedup < floor:
+        print(f"FAIL: hot path regressed more than "
+              f"{args.tolerance:.0%} against the committed trajectory")
+        return 1
+    print("OK: hot path within the committed trajectory")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,14 +15,17 @@ import random
 
 import pytest
 
+import _bootstrap
 from repro.gui.render import render_table
 
 
 def report(title: str, headers, rows) -> None:
-    """Print one regenerated table, paper-style."""
+    """Print one regenerated table, paper-style — and record it into
+    the experiment's ``BENCH_<e*>.json`` (see `_bootstrap.record_table`)."""
     print()
     print(f"== {title} ==")
     print(render_table(headers, rows))
+    _bootstrap.record_table(title, headers, rows)
 
 
 def once(benchmark, fn):

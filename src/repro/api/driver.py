@@ -110,14 +110,17 @@ class EpochDriver:
             intervention.before_epoch(deployment, network.epoch)
         active = deployment.active_sessions()
         outcomes: "dict[int, Outcome]" = {}
+        shadows: "list" = []
+        seen: set[int] = set()
+        for session in active:
+            shadow = session.baseline_network
+            if shadow is not None and id(shadow) not in seen:
+                seen.add(id(shadow))
+                shadows.append(shadow)
         with ExitStack() as stack:
             stack.enter_context(network.shared_epoch())
-            seen: set[int] = set()
-            for session in active:
-                shadow = session.baseline_network
-                if shadow is not None and id(shadow) not in seen:
-                    seen.add(id(shadow))
-                    stack.enter_context(shadow.shared_epoch())
+            for shadow in shadows:
+                stack.enter_context(shadow.shared_epoch())
             for session in active:
                 outcomes[session.session_id] = session.step()
         self.epochs_driven += 1

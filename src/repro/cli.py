@@ -92,6 +92,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write a template scenario file")
     init.add_argument("path")
 
+    perf = sub.add_parser(
+        "perf",
+        help="measure epochs/sec, messages/sec and RSS across fleet "
+             "sizes; writes a schema-versioned BENCH_perf.json")
+    perf.add_argument("--sizes", default=None,
+                      help="comma-separated fleet sizes "
+                           "(default: 25,100,400,1000)")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="repetitions per configuration (best-of-R, "
+                           "interleaved)")
+    perf.add_argument("--seed", type=int, default=11)
+    perf.add_argument("--quick", action="store_true",
+                      help="CI smoke: N <= 100 only, fewer repeats")
+    perf.add_argument("--compare-reference", action="store_true",
+                      help="also time the unoptimized reference path "
+                           "and report the machine-normalized speedup")
+    perf.add_argument("--output", default="BENCH_perf.json",
+                      help="where to write the JSON report")
+    _add_churn_arguments(perf)
+
     savings = sub.add_parser("savings",
                              help="MINT vs TAG savings on a grid")
     savings.add_argument("--side", type=int, default=8)
@@ -487,6 +507,54 @@ def _cmd_scenario_init(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from .errors import ConfigurationError
+    from .perf import FLEET_SIZES, run_perf
+
+    if args.sizes:
+        try:
+            sizes = tuple(int(part) for part in args.sizes.split(","))
+        except ValueError:
+            raise ConfigurationError(
+                f"--sizes wants comma-separated integers, got "
+                f"{args.sizes!r}") from None
+        if any(n < 1 for n in sizes):
+            raise ConfigurationError("fleet sizes must be positive")
+    else:
+        sizes = FLEET_SIZES
+
+    def progress(sample):
+        line = (f"N={sample.n_nodes:>5}: "
+                f"{sample.hot.epochs_per_sec:8.2f} epochs/s, "
+                f"{sample.hot.messages_per_sec:10.0f} msgs/s, "
+                f"rss {sample.peak_rss_bytes / 1e6:6.1f} MB")
+        if sample.speedup is not None:
+            line += (f"  ({sample.reference.epochs_per_sec:.2f} eps "
+                     f"reference, {sample.speedup:.2f}x)")
+        print(line)
+
+    # Mirror run_perf's --quick adjustments so the banner states what
+    # will actually run (default ladder trimmed, repeats clamped).
+    shown_sizes = list(sizes)
+    shown_repeats = args.repeats
+    if args.quick:
+        if tuple(sizes) == FLEET_SIZES:
+            shown_sizes = [25, 100]
+        shown_repeats = min(shown_repeats, 2)
+    print(f"perf: e11 workload, sizes {shown_sizes}, "
+          f"best of {shown_repeats}"
+          + (f", churn={args.churn}" if args.churn else "")
+          + (", vs reference path" if args.compare_reference else ""))
+    report = run_perf(
+        sizes=sizes, repeats=args.repeats, seed=args.seed,
+        churn=args.churn, churn_seed=args.churn_seed,
+        compare_reference=args.compare_reference, quick=args.quick,
+        progress=progress)
+    path = report.write(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_savings(args) -> int:
     from .core import Mint, MintConfig, Tag
     from .core.aggregates import make_aggregate
@@ -530,6 +598,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workload": _cmd_workload,
         "scenario-init": _cmd_scenario_init,
         "savings": _cmd_savings,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

@@ -27,17 +27,21 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..errors import ValidationError
 
 
-@dataclass(frozen=True)
-class Partial:
+class Partial(NamedTuple):
     """Mergeable aggregate state.
 
     ``value`` carries the sum for SUM/COUNT/AVG and the extremum for
     MIN/MAX; ``count`` is the number of readings folded in (the mass
     accounting the AVG bounds rely on).
+
+    A NamedTuple rather than a dataclass: partials are created and
+    compared millions of times per run in the converge-cast hot loop,
+    and tuple construction/equality run in C.
     """
 
     value: float

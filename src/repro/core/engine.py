@@ -269,10 +269,13 @@ class KSpotEngine:
         epoch. Reads go through the node-level per-epoch cache, so on a
         shared deployment boards that already fired this epoch are not
         re-sampled."""
+        nodes = self.network.nodes
+        epoch = self.network.epoch
+        attribute = self.plan.attribute
         for node_id in self.participants:
-            if self.network.node(node_id).alive:
-                self.network.node(node_id).read(
-                    self.plan.attribute, self.network.epoch)
+            node = nodes[node_id]
+            if node.alive:
+                node.read(attribute, epoch)
 
     def fill_windows(self, epochs: int | None = None) -> None:
         """Acquisition stage: sample & buffer locally, radio silent."""

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Hashable, Mapping
 
 from ..errors import ProtocolError, ValidationError
+from ..network import hotpath
 from ..network.messages import (
     ProbeReplyMessage,
     ProbeRequestMessage,
@@ -49,6 +50,19 @@ from .results import EpochResult, rank_key
 from .views import MintNodeState, max_gamma
 
 GroupKey = Hashable
+
+
+class _SortKeys(dict):
+    """group → ``str(group)`` memo for deterministic orderings.
+
+    The update and prune phases sort by the stringified group key every
+    epoch at every node; group keys are a small static set, so the hot
+    path stringifies each exactly once.
+    """
+
+    def __missing__(self, group):
+        key = self[group] = str(group)
+        return key
 
 
 @dataclass
@@ -115,12 +129,33 @@ class Mint:
         self._quiet_streak = 0
         self.probes_run = 0
         self._totals_stale = False
+        #: Hot-path memo of per-group string sort keys.
+        self._gstr = _SortKeys()
+        #: Hot-path memo of lifted reading partials (value → Partial;
+        #: readings are ADC-quantized, so the domain is small).
+        self._lift_memo: dict[float, Partial] = {}
+        #: Hot-path memo of the participant tuple (see _participants).
+        self._participants_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     # Acquisition
     # ------------------------------------------------------------------
 
     def _participants(self) -> tuple[int, ...]:
+        if hotpath.enabled():
+            # Keyed by identity of the (cached) alive tuple and the
+            # membership dict: the network rebuilds the former only on
+            # topology change, the engine rebinds the latter only on
+            # newborn adoption.
+            alive = self.network.alive_sensor_ids()
+            group_of = self.group_of
+            cache = self._participants_cache
+            if (cache is not None and cache[0] is alive
+                    and cache[1] is group_of):
+                return cache[2]
+            result = tuple(n for n in alive if n in group_of)
+            self._participants_cache = (alive, group_of, result)
+            return result
         return tuple(
             node_id for node_id in self.network.alive_sensor_ids()
             if node_id in self.group_of
@@ -134,15 +169,37 @@ class Mint:
         window aggregate becomes its contribution.
         """
         contributions: dict[int, Partial] = {}
+        nodes = self.network.nodes
+        epoch = self.network.epoch
+        attribute = self.attribute
+        from_value = self.aggregate.from_value
+        if self.window_epochs is None:
+            if hotpath.enabled():
+                # Readings are quantized to the modality's ADC, so the
+                # same few hundred values recur; lifted partials are
+                # immutable and safe to share across nodes and epochs.
+                memo = self._lift_memo
+                if len(memo) > 4096:
+                    memo.clear()
+                for node_id in self._participants():
+                    value = nodes[node_id].read(attribute, epoch)
+                    partial = memo.get(value)
+                    if partial is None:
+                        partial = memo[value] = from_value(value)
+                    contributions[node_id] = partial
+            else:
+                for node_id in self._participants():
+                    contributions[node_id] = from_value(
+                        nodes[node_id].read(attribute, epoch))
+            return contributions
+        window_func = (self.aggregate.func.lower()
+                       if self.aggregate.func != "COUNT" else "avg")
         for node_id in self._participants():
-            node = self.network.node(node_id)
-            value = node.read(self.attribute, self.network.epoch)
-            if self.window_epochs is not None:
-                value = node.window_for(self.attribute).aggregate(
-                    self.aggregate.func.lower()
-                    if self.aggregate.func != "COUNT" else "avg",
-                    last_n=self.window_epochs)
-            contributions[node_id] = self.aggregate.from_value(value)
+            node = nodes[node_id]
+            node.read(attribute, epoch)
+            value = node.window_for(attribute).aggregate(
+                window_func, last_n=self.window_epochs)
+            contributions[node_id] = from_value(value)
         return contributions
 
     # ------------------------------------------------------------------
@@ -155,18 +212,26 @@ class Mint:
         view: dict[GroupKey, Partial] = {}
         if contribution is not None:
             view[self.group_of[node_id]] = contribution
+        nodes = self.network.nodes
+        states = self.states
+        merge = self.aggregate.merge
+        get = view.get
         for child in self.network.tree.children(node_id):
-            if not self.network.node(child).alive:
+            if not nodes[child].alive:
                 continue
-            for group, partial in self.states[child].reported.items():
-                existing = view.get(group)
+            for group, partial in states[child].reported.items():
+                existing = get(group)
                 view[group] = (partial if existing is None
-                               else self.aggregate.merge(existing, partial))
+                               else merge(existing, partial))
         return view
 
     def _prune(self, view: dict[GroupKey, Partial]
                ) -> tuple[dict[GroupKey, Partial], dict[GroupKey, Partial]]:
-        """Split V_i into (kept V'_i, withheld) by local rank."""
+        """Split V_i into (kept V'_i, withheld) by local rank.
+
+        Reference-path implementation; the hot path runs the fused
+        :meth:`_run_update_phase` instead.
+        """
         keep_count = self.k + self.slack
         ranked = sorted(
             view.items(),
@@ -181,10 +246,15 @@ class Mint:
                         kept: Mapping[GroupKey, Partial],
                         gamma: float | None,
                         epoch: int) -> ViewUpdateMessage | None:
-        """Delta between V'_i and the parent's cache (None = silence)."""
+        """Delta between V'_i and the parent's cache (None = silence).
+
+        Reference-path implementation; the hot path runs the fused
+        :meth:`_run_update_phase` instead.
+        """
         changed = tuple(
             ViewEntry(group, partial.value, partial.count)
-            for group, partial in sorted(kept.items(), key=lambda i: str(i[0]))
+            for group, partial in sorted(kept.items(),
+                                         key=lambda i: str(i[0]))
             if state.reported.get(group) != partial
         )
         retractions = tuple(
@@ -209,10 +279,14 @@ class Mint:
         """Commit what the parent now caches about this subtree."""
         if message is None:
             return
+        reported = state.reported
         for group in message.retractions:
-            state.reported.pop(group, None)
+            reported.pop(group, None)
         for entry in message.entries:
-            state.reported[entry.group] = Partial(entry.value, entry.count)
+            # The shipped entry was built from kept[group]; caching the
+            # kept partial itself is value-identical and skips the
+            # reconstruction.
+            reported[entry.group] = kept[entry.group]
         if message.gamma is not None:
             state.gamma_reported = message.gamma
 
@@ -292,45 +366,61 @@ class Mint:
         withheld tuples or a descendant's reply) transmit.
         """
         probe_set = set(groups)
-        with self.network.stats.phase("probe"):
-            self.network.flood_down(
-                lambda node_id: ProbeRequestMessage(
-                    epoch=self.network.epoch, groups=tuple(sorted(
-                        probe_set, key=str))))
+        network = self.network
+        states = self.states
+        merge = self.aggregate.merge
+        epoch = network.epoch
+        sink_id = network.sink_id
+        children_of = network.tree.children
+        hot = hotpath.enabled()
+        with network.stats.phase("probe"):
+            # The request is identical at every forwarding hop: build
+            # it once (its payload size memoizes on first ship).
+            request = ProbeRequestMessage(
+                epoch=epoch,
+                groups=tuple(sorted(probe_set, key=str)))
+            network.flood_down(lambda node_id: request)
             replies: dict[int, dict[GroupKey, Partial]] = {}
             collected: dict[GroupKey, Partial] = {}
-            for node_id in self.network.converge_cast_order():
+            for node_id in network.converge_cast_order():
                 payload: dict[GroupKey, Partial] = {}
-                state = self.states[node_id]
+                state = states[node_id]
                 for group, partial in state.withheld.items():
                     if group in probe_set:
                         existing = payload.get(group)
                         payload[group] = (
                             partial if existing is None
-                            else self.aggregate.merge(existing, partial))
-                for child in self.network.tree.children(node_id):
-                    for group, partial in replies.get(child, {}).items():
+                            else merge(existing, partial))
+                for child in children_of(node_id):
+                    reply = replies.get(child)
+                    if not reply:
+                        continue
+                    for group, partial in reply.items():
                         existing = payload.get(group)
                         payload[group] = (
                             partial if existing is None
-                            else self.aggregate.merge(existing, partial))
+                            else merge(existing, partial))
                 if not payload:
                     continue
                 message = ProbeReplyMessage(
-                    epoch=self.network.epoch,
+                    epoch=epoch,
                     entries=tuple(
                         ViewEntry(group, partial.value, partial.count)
                         for group, partial in sorted(payload.items(),
                                                      key=lambda i: str(i[0]))
                     ),
                 )
-                parent = self.network.send_up(node_id, message)
-                if parent == self.network.sink_id:
+                if hot:
+                    parent = network.tree._parents[node_id]
+                    network._ship_unicast(node_id, parent, message)
+                else:
+                    parent = network.send_up(node_id, message)
+                if parent == sink_id:
                     for group, partial in payload.items():
                         existing = collected.get(group)
                         collected[group] = (
                             partial if existing is None
-                            else self.aggregate.merge(existing, partial))
+                            else merge(existing, partial))
                 else:
                     replies[node_id] = payload
         self.probes_run += 1
@@ -361,25 +451,34 @@ class Mint:
             self._recount_totals()
             self._totals_stale = False
         contributions = self._acquire()
-        with self.network.stats.phase("update"):
-            for node_id in self.network.converge_cast_order():
-                state = self.states[node_id]
-                state.view = self._rebuild_view(
-                    node_id, contributions.get(node_id))
-                kept, withheld = self._prune(state.view)
-                state.withheld = withheld
-                child_gammas = [
-                    self.states[child].gamma_reported
-                    for child in self.network.tree.children(node_id)
-                    if self.network.node(child).alive
-                ]
-                gamma = subtree_gamma(self.aggregate, withheld, child_gammas)
-                state.gamma_current = gamma
-                message = self._update_message(
-                    state, kept, gamma, self.network.epoch)
-                if message is not None:
-                    self.network.send_up(node_id, message)
-                    self._apply_report(state, kept, message)
+        if hotpath.enabled():
+            self._run_update_phase(contributions)
+        else:
+            network = self.network
+            states = self.states
+            nodes = network.nodes
+            tree = network.tree
+            epoch = network.epoch
+            aggregate = self.aggregate
+            contributions_get = contributions.get
+            with network.stats.phase("update"):
+                for node_id in network.converge_cast_order():
+                    state = states[node_id]
+                    state.view = self._rebuild_view(
+                        node_id, contributions_get(node_id))
+                    kept, withheld = self._prune(state.view)
+                    state.withheld = withheld
+                    child_gammas = [
+                        states[child].gamma_reported
+                        for child in tree.children(node_id)
+                        if nodes[child].alive
+                    ]
+                    gamma = subtree_gamma(aggregate, withheld, child_gammas)
+                    state.gamma_current = gamma
+                    message = self._update_message(state, kept, gamma, epoch)
+                    if message is not None:
+                        network.send_up(node_id, message)
+                        self._apply_report(state, kept, message)
 
         bounds = self._sink_bounds()
         outcome = certify_top_k(bounds, self.k)
@@ -415,6 +514,168 @@ class Mint:
         )
         self.network.advance_epoch()
         return result
+
+    def _run_update_phase(self, contributions: dict[int, Partial]) -> None:
+        """The pruning + update phases, fused into one converge-cast
+        pass (hot path).
+
+        Semantically identical to calling :meth:`_rebuild_view`,
+        :meth:`_prune`, :func:`~repro.core.descriptors.subtree_gamma`,
+        :meth:`_update_message` and :meth:`_apply_report` per node —
+        the reference branch in :meth:`run_epoch` still does exactly
+        that, and the equivalence property test holds the two paths to
+        identical messages, stats and answers. Fusing the pass removes
+        five method calls and several intermediate containers per node
+        per epoch, which dominates the epoch loop at fleet scale.
+        """
+        network = self.network
+        states = self.states
+        nodes = network.nodes
+        epoch = network.epoch
+        aggregate = self.aggregate
+        merge = aggregate.merge
+        finalize = aggregate.finalize
+        gstr = self._gstr
+        group_of = self.group_of
+        keep_count = self.k + self.slack
+        hysteresis = self.config.gamma_hysteresis
+        contributions_get = contributions.get
+        children_of = network.tree.children
+        parents = network.tree._parents
+        ship_unicast = network._ship_unicast
+        sort_key = lambda item: (-finalize(item[1]), gstr[item[0]])  # noqa: E731
+        wire_key = lambda item: gstr[item[0]]  # noqa: E731  entry order
+        with network.stats.phase("update"):
+            for node_id in network.converge_cast_order():
+                state = states[node_id]
+                contribution = contributions_get(node_id)
+                children = children_of(node_id)
+                # -- leaf fast path ---------------------------------
+                # A leaf's view is just its own contribution: no merge,
+                # no pruning, no γ, and the delta is one comparison.
+                if not children:
+                    reported = state.reported
+                    if contribution is None:
+                        state.view = {}
+                        state.withheld = {}
+                        state.gamma_current = None
+                        if not reported:
+                            continue
+                        kept: dict[GroupKey, Partial] = {}
+                        changed = []
+                    else:
+                        group = group_of[node_id]
+                        state.view = kept = {group: contribution}
+                        state.withheld = {}
+                        state.gamma_current = None
+                        if (len(reported) == 1
+                                and reported.get(group) == contribution):
+                            continue
+                        changed = ([(group, contribution)]
+                                   if reported.get(group) != contribution
+                                   else [])
+                    if reported.keys() <= kept.keys():
+                        retractions: tuple = ()
+                    else:
+                        retractions = tuple(
+                            g for g in sorted(reported,
+                                              key=gstr.__getitem__)
+                            if g not in kept)
+                    if not changed and not retractions:
+                        continue
+                    message = ViewUpdateMessage(
+                        epoch=epoch,
+                        entries=tuple([ViewEntry(g, p[0], p[1])
+                                       for g, p in changed]),
+                        retractions=retractions,
+                    )
+                    ship_unicast(node_id, parents[node_id], message)
+                    for g in retractions:
+                        reported.pop(g, None)
+                    for g, p in changed:
+                        reported[g] = p
+                    continue
+                # -- rebuild V_i ------------------------------------
+                view: dict[GroupKey, Partial] = {}
+                if contribution is not None:
+                    view[group_of[node_id]] = contribution
+                view_get = view.get
+                live_children = []
+                for child in children:
+                    if not nodes[child].alive:
+                        continue
+                    live_children.append(child)
+                    for group, partial in states[child].reported.items():
+                        existing = view_get(group)
+                        view[group] = (partial if existing is None
+                                       else merge(existing, partial))
+                state.view = view
+                # -- prune into V'_i + withheld ---------------------
+                if len(view) <= keep_count:
+                    kept = view
+                    withheld: dict[GroupKey, Partial] = {}
+                else:
+                    ranked = sorted(view.items(), key=sort_key)
+                    kept = dict(ranked[:keep_count])
+                    withheld = dict(ranked[keep_count:])
+                state.withheld = withheld
+                # -- γ descriptor -----------------------------------
+                gamma = (max(map(finalize, withheld.values()))
+                         if withheld else None)
+                for child in live_children:
+                    child_gamma = states[child].gamma_reported
+                    if child_gamma is not None and (
+                            gamma is None or child_gamma > gamma):
+                        gamma = child_gamma
+                state.gamma_current = gamma
+                # -- delta vs the parent's cache --------------------
+                # Only the delta is sorted (into the same wire order
+                # the reference path produces by sorting all of kept);
+                # steady-state deltas are tiny next to the full view.
+                reported = state.reported
+                reported_get = reported.get
+                changed = [
+                    (group, partial)
+                    for group, partial in kept.items()
+                    if reported_get(group) != partial
+                ]
+                if len(changed) > 1:
+                    changed.sort(key=wire_key)
+                if reported.keys() <= kept.keys():
+                    retractions = ()
+                else:
+                    retractions = tuple(
+                        group
+                        for group in sorted(reported, key=gstr.__getitem__)
+                        if group not in kept
+                    )
+                # Inlined should_reship_gamma (one call per node saved).
+                reported_gamma = state.gamma_reported
+                if gamma is None:
+                    ship_gamma = False
+                elif reported_gamma is None or gamma > reported_gamma:
+                    ship_gamma = True
+                else:
+                    ship_gamma = reported_gamma - gamma > hysteresis
+                if not changed and not retractions and not ship_gamma:
+                    continue
+                message = ViewUpdateMessage(
+                    epoch=epoch,
+                    entries=tuple([ViewEntry(group, partial[0], partial[1])
+                                   for group, partial in changed]),
+                    gamma=gamma if ship_gamma else None,
+                    retractions=retractions,
+                )
+                # Every node in the converge-cast order is alive and
+                # non-root, so the send_up guards are vacuous here.
+                ship_unicast(node_id, parents[node_id], message)
+                # -- commit the parent-side cache -------------------
+                for group in retractions:
+                    reported.pop(group, None)
+                for group, partial in changed:
+                    reported[group] = partial
+                if ship_gamma:
+                    state.gamma_reported = gamma
 
     def _seen_partial(self, group: GroupKey) -> Partial | None:
         seen: Partial | None = None

@@ -1,0 +1,57 @@
+"""Hot-path switchboard: optimized epoch loop vs. reference semantics.
+
+The simulator's epoch loop carries several caches that exist purely for
+speed — the memoized :func:`~repro.network.packets.fragment` cost
+model, per-tree traversal-order caches, per-epoch traffic batching —
+all of which are *semantically invisible*: with the caches on or off,
+every message, byte, joule and per-phase snapshot is identical.
+
+This module owns the single switch that selects between the two modes:
+
+* **hot path** (the default) — caches enabled; this is what every
+  benchmark and production run uses; and
+* **reference path** — caches bypassed, every cost re-derived from
+  first principles exactly as the pre-optimization code did.
+
+The reference path exists so the equivalence can be *proved* rather
+than asserted: ``tests/test_hotpath_equivalence.py`` drives random
+scenarios through both modes and compares answers and
+:class:`~repro.network.stats.NetworkStats` byte-for-byte, and the
+``repro perf --compare-reference`` harness prices the speedup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The switch itself. Call :func:`enabled` in normal code; call sites
+#: executed hundreds of thousands of times per epoch may read this
+#: module attribute directly to skip the function call.
+_enabled = True
+
+
+def enabled() -> bool:
+    """True when the optimized hot path is active (the default)."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Globally select the hot (True) or reference (False) path.
+
+    Takes effect on the next shipped message / epoch; existing cached
+    state is simply bypassed, never trusted, while disabled.
+    """
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def reference_path() -> Iterator[None]:
+    """Run the enclosed block on the unoptimized reference path."""
+    previous = _enabled
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -9,12 +9,19 @@ counts). The simulator converts payload bytes into TOS_Msg packets via
 Keeping sizes *derived from content* rather than hard-coded per message
 type is what lets pruning show up as byte savings: a view update with
 fewer tuples is genuinely smaller on the air.
+
+Every message is immutable, so its wire size is fixed at construction:
+fixed-layout messages publish ``payload_bytes`` as a class constant,
+and the messages that relay hop-by-hop (one instance shipped many
+times) memoize it per instance (``functools.cached_property``) so no
+hop after the first re-walks the entry tuples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from functools import cached_property
+from typing import Hashable, NamedTuple, Sequence
 
 #: Field encodings (bytes).
 SZ_NODE_ID = 2
@@ -30,13 +37,14 @@ SZ_OBJECT_ID = 4  # historic queries rank time instants (32-bit epoch ids)
 GroupKey = Hashable
 
 
-@dataclass(frozen=True)
-class ViewEntry:
+class ViewEntry(NamedTuple):
     """One view tuple: a group's partial aggregate (group, sum, count).
 
     This is exactly the ``(roomid, sum, count)`` tuple of the paper's
     TAG example, generalised: MIN/MAX ride in ``value`` with count
     carrying the contributing-sensor tally needed by the bound logic.
+    (A NamedTuple: entry construction is the epoch loop's most frequent
+    allocation after packet costs, and tuples build in C.)
     """
 
     group: GroupKey
@@ -46,8 +54,7 @@ class ViewEntry:
     WIRE_BYTES = SZ_GROUP_ID + SZ_VALUE + SZ_COUNT
 
 
-@dataclass(frozen=True)
-class Reading:
+class Reading(NamedTuple):
     """A raw (node, value) sample, as shipped by the centralized baseline."""
 
     node_id: int
@@ -56,8 +63,7 @@ class Reading:
     WIRE_BYTES = SZ_NODE_ID + SZ_VALUE
 
 
-@dataclass(frozen=True)
-class ObjectScore:
+class ObjectScore(NamedTuple):
     """A historic-query item: (object id, partial score, count)."""
 
     object_id: int
@@ -89,9 +95,8 @@ class QueryMessage(WireMessage):
     query_id: int
     kind: str = field(default="query", init=False)
 
-    @property
-    def payload_bytes(self) -> int:
-        return 16
+    #: Fixed compiled-descriptor layout — a class constant, no walk.
+    payload_bytes = 16
 
 
 @dataclass(frozen=True)
@@ -138,7 +143,7 @@ class ProbeRequestMessage(WireMessage):
     groups: tuple[GroupKey, ...]
     kind: str = field(default="probe_request", init=False)
 
-    @property
+    @cached_property
     def payload_bytes(self) -> int:
         return SZ_EPOCH + len(self.groups) * SZ_GROUP_ID
 
@@ -209,7 +214,7 @@ class ScoreListMessage(WireMessage):
     items: tuple[ObjectScore, ...]
     kind: str = field(default="score_list", init=False)
 
-    @property
+    @cached_property
     def payload_bytes(self) -> int:
         # Flat protocols ship (id, value) without the count field.
         return len(self.items) * (SZ_OBJECT_ID + SZ_VALUE)
@@ -235,7 +240,7 @@ class FilterReportMessage(WireMessage):
     entries: tuple[ViewEntry, ...]
     kind: str = field(default="filter_report", init=False)
 
-    @property
+    @cached_property
     def payload_bytes(self) -> int:
         return SZ_EPOCH + len(self.entries) * ViewEntry.WIRE_BYTES
 

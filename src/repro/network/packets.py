@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import ValidationError
 
@@ -60,3 +61,20 @@ def fragment(payload_bytes: int, mtu: int = PAYLOAD_MTU,
         payload_bytes=payload_bytes,
         air_bytes=payload_bytes + packets * header_bytes,
     )
+
+
+@lru_cache(maxsize=8192)
+def fragment_cached(payload_bytes: int, mtu: int = PAYLOAD_MTU,
+                    header_bytes: int = HEADER_BYTES) -> PacketCount:
+    """Memoized :func:`fragment` — the epoch loop's cost model.
+
+    ``fragment`` is a pure function of its integer arguments and
+    :class:`PacketCount` is frozen, so sharing one instance per
+    distinct payload size is observationally identical to fragmenting
+    afresh — but the converge-cast hot path ships the same few dozen
+    payload sizes millions of times, making the allocation the single
+    most frequent one of the epoch loop. The simulator consults this
+    memo when :func:`repro.network.hotpath.enabled` and re-derives via
+    :func:`fragment` on the reference path.
+    """
+    return fragment(payload_bytes, mtu, header_bytes)

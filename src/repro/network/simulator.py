@@ -15,6 +15,23 @@ transport primitives the algorithms use:
 Both primitives fragment the message into TOS_Msg packets, charge
 transmit energy to the sender and receive energy to each receiver, and
 record everything in :class:`~repro.network.stats.NetworkStats`.
+
+The per-message work runs on an allocation-free **hot path** (see
+:mod:`repro.network.hotpath`): packet costs come from the memoized
+fragment table, energy rates and ledger lookups are precomputed,
+traffic is batched per epoch into per-kind accumulators flushed at
+epoch/phase/tap boundaries, and tree traversal orders / live-children
+lookups are cached and invalidated on topology change. All of it is
+observationally identical to the reference path — same counters, same
+per-phase snapshots, same RNG draws — which stays available for
+equivalence testing via :func:`repro.network.hotpath.reference_path`.
+
+Randomness is split into *per-purpose streams*: the packet-loss process
+draws from one seeded RNG, while churn-recovery handshakes (attach /
+join control traffic) draw from a second stream derived from the same
+seed. Topology events therefore never perturb the loss outcomes of
+session traffic — a run with a churn schedule whose victims carry no
+query traffic sees byte-for-byte the same losses as a run without it.
 """
 
 from __future__ import annotations
@@ -25,15 +42,20 @@ from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
 from ..errors import ConfigurationError, RoutingError, TopologyError
 from ..sensing.board import SensorBoard
+from . import hotpath
 from .energy import EnergyLedger, EnergyModel
 from .events import TopologyEvent, TopologyEventKind
 from .link import RadioModel
 from .messages import ControlMessage, WireMessage
 from .node import SensorNode
-from .packets import fragment
+from .packets import fragment, fragment_cached
 from .stats import NetworkStats
 from .topology import Topology
 from .tree import RoutingTree
+
+#: Offset deriving the recovery-handshake RNG stream from the loss seed
+#: (an arbitrary odd 64-bit constant; any fixed value works).
+_RECOVERY_STREAM = 0x9E3779B97F4A7C15
 
 
 class Network:
@@ -68,7 +90,11 @@ class Network:
         if missing:
             raise TopologyError(f"tree references unknown nodes: {sorted(missing)}")
         self.stats = NetworkStats()
+        #: Loss-process stream: consumed only by session traffic.
         self._rng = random.Random(seed)
+        #: Recovery stream: consumed only by churn handshakes, so
+        #: topology events never shift the loss process.
+        self._recovery_rng = random.Random(seed ^ _RECOVERY_STREAM)
         group_of = group_of or {}
         self.nodes: dict[int, SensorNode] = {}
         for node_id in self.tree.sensor_ids:
@@ -83,6 +109,38 @@ class Network:
         self._advance_requested = False
         self._stat_taps: list[NetworkStats] = []
         self._subscribers: list[Callable[[TopologyEvent], None]] = []
+        # ---- hot-path state (semantically invisible; see hotpath) ----
+        #: The root id never changes across repairs (the sink cannot
+        #: die), so it is resolved once.
+        self._sink_id = self.tree.root
+        #: Precomputed J/byte rates (the EnergyModel is immutable).
+        self._tx_rate = self.energy.tx_joules_per_byte
+        self._rx_rate = self.energy.rx_joules_per_byte
+        #: node id → ledger, maintained across joins (kept for dead
+        #: nodes: their ledgers stay readable).
+        self._ledger_of: dict[int, EnergyLedger] = {
+            self._sink_id: self.sink_ledger,
+            **{i: n.ledger for i, n in self.nodes.items()},
+        }
+        #: Per-epoch traffic accumulator: kind → [messages, packets,
+        #: payload, air, retransmissions]; flushed into the active
+        #: stats sinks at epoch / phase / tap boundaries.
+        self._pending_traffic: dict[str, list] = {}
+        #: payload bytes → (packets, air bytes, tx J, rx J) for
+        #: lossless hops (unicast fast path).
+        self._cost_memo: dict[int, tuple] = {}
+        self.stats._drain_hook = self._flush_traffic
+        #: Topology caches, invalidated by bumping the version (node
+        #: deaths report in via the per-node kill hook).
+        self._topo_version = 0
+        self._order_cache: tuple[int, ...] | None = None
+        self._alive_ids_cache: tuple[int, ...] | None = None
+        self._forwarders_cache: tuple[int, ...] | None = None
+        self._live_children_cache: dict[int, tuple[int, ...]] = {}
+        self._cache_tree: RoutingTree | None = None
+        self._cache_version = -1
+        for node in self.nodes.values():
+            node.on_kill = self._on_node_killed
 
     # ------------------------------------------------------------------
     # Introspection
@@ -91,7 +149,7 @@ class Network:
     @property
     def sink_id(self) -> int:
         """The base station id."""
-        return self.tree.root
+        return self._sink_id
 
     def node(self, node_id: int) -> SensorNode:
         """The runtime of a sensor node."""
@@ -102,7 +160,35 @@ class Network:
 
     def alive_sensor_ids(self) -> tuple[int, ...]:
         """Sensors still running, sorted by id."""
+        if hotpath.enabled():
+            self._validate_topo_caches()
+            if self._alive_ids_cache is None:
+                nodes = self.nodes
+                self._alive_ids_cache = tuple(
+                    i for i in self.tree.sensor_ids if nodes[i].alive)
+            return self._alive_ids_cache
         return tuple(i for i in self.tree.sensor_ids if self.nodes[i].alive)
+
+    def _validate_topo_caches(self) -> None:
+        """Drop every topology-derived cache after a tree change or a
+        node death/join (cheap identity + version check per use)."""
+        if (self._cache_tree is not self.tree
+                or self._cache_version != self._topo_version):
+            self._cache_tree = self.tree
+            self._cache_version = self._topo_version
+            self._order_cache = None
+            self._alive_ids_cache = None
+            self._forwarders_cache = None
+            self._live_children_cache.clear()
+
+    def _on_node_killed(self, _node_id: int) -> None:
+        """Per-node death hook: invalidate aliveness-derived caches.
+
+        Installed on every :class:`SensorNode` (including ones killed
+        directly, bypassing :meth:`kill_node`), so caches can never
+        observe a stale ``alive`` flag.
+        """
+        self._topo_version += 1
 
     def ledger(self, node_id: int) -> EnergyLedger:
         """The energy ledger of a node (or of the sink)."""
@@ -124,21 +210,48 @@ class Network:
     # ------------------------------------------------------------------
 
     def _ship(self, sender: int, receivers: Iterable[int],
-              message: WireMessage) -> None:
-        """Fragment, apply the loss process, charge energy, record."""
+              message: WireMessage,
+              rng: random.Random | None = None) -> None:
+        """Fragment, apply the loss process, charge energy, record.
+
+        ``rng`` selects the randomness stream paying for this message's
+        loss draws (default: the loss-process stream; churn recovery
+        passes its own stream so repairs never perturb session losses).
+        """
         receivers = tuple(receivers)
-        cost = fragment(message.payload_bytes)
-        attempts = 0
-        try:
-            for _ in range(cost.packets):
-                attempts += self.radio.attempts_needed(self._rng)
-        except RoutingError:
-            self.stats.record_drop()
-            for tap in self._stat_taps:
-                tap.record_drop()
-            raise
+        hot = hotpath.enabled()
+        cost = (fragment_cached(message.payload_bytes) if hot
+                else fragment(message.payload_bytes))
+        if hot and self.radio.loss_probability == 0.0:
+            # Lossless links take exactly one attempt per packet and
+            # consume no randomness — identical to the drawn outcome.
+            attempts = cost.packets
+        else:
+            if rng is None:
+                rng = self._rng
+            attempts = 0
+            try:
+                for _ in range(cost.packets):
+                    attempts += self.radio.attempts_needed(rng)
+            except RoutingError:
+                self.stats.record_drop()
+                for tap in self._stat_taps:
+                    tap.record_drop()
+                raise
         air_bytes = cost.air_bytes + (attempts - cost.packets) * (
             cost.air_bytes // cost.packets)
+        if hot:
+            tx_joules = air_bytes * self._tx_rate
+            rx_joules_each = air_bytes * self._rx_rate
+            ledgers = self._ledger_of
+            ledgers[sender].tx += tx_joules
+            for receiver in receivers:
+                ledgers[receiver].rx += rx_joules_each
+            self._record_hot(message.kind, cost.packets,
+                             cost.payload_bytes, air_bytes,
+                             attempts - cost.packets, tx_joules,
+                             rx_joules_each * len(receivers))
+            return
         tx_joules = air_bytes * self.energy.tx_joules_per_byte
         rx_joules_each = air_bytes * self.energy.rx_joules_per_byte
         self.ledger(sender).charge_tx(tx_joules)
@@ -155,8 +268,146 @@ class Network:
                 retransmissions=attempts - cost.packets,
             )
 
+    def _ship_unicast(self, sender: int, receiver: int,
+                      message: WireMessage) -> None:
+        """Hot-path :meth:`_ship` specialised for one receiver.
+
+        Tree traffic is overwhelmingly unicast (every converge-cast
+        edge), so the single-receiver case skips the receiver tuple,
+        the receiver loop and the generic branching. Costs, energy and
+        recorded counters are identical to :meth:`_ship`.
+        """
+        payload_bytes = message.payload_bytes
+        if self.radio.loss_probability == 0.0:
+            info = (self._cost_memo.get(payload_bytes)
+                    or self._memo_cost(payload_bytes))
+            packets, air_bytes, tx_joules, rx_joules = info
+            retransmissions = 0
+        else:
+            cost = fragment_cached(payload_bytes)
+            packets = cost.packets
+            rng = self._rng
+            attempts_needed = self.radio.attempts_needed
+            attempts = 0
+            try:
+                for _ in range(packets):
+                    attempts += attempts_needed(rng)
+            except RoutingError:
+                self.stats.record_drop()
+                for tap in self._stat_taps:
+                    tap.record_drop()
+                raise
+            air_bytes = cost.air_bytes + (attempts - packets) * (
+                cost.air_bytes // packets)
+            tx_joules = air_bytes * self._tx_rate
+            rx_joules = air_bytes * self._rx_rate
+            retransmissions = attempts - packets
+        ledgers = self._ledger_of
+        ledgers[sender].tx += tx_joules
+        ledgers[receiver].rx += rx_joules
+        # _record_hot, inlined: this is the per-converge-cast-edge call
+        # site — the hottest in the simulator — and the call frame
+        # alone is measurable there. Keep in lock-step with
+        # _record_hot (the canonical implementation).
+        batch = self._pending_traffic.get(message.kind)
+        if batch is None:
+            batch = self._pending_traffic[message.kind] = [0, 0, 0, 0, 0]
+        batch[0] += 1
+        batch[1] += packets
+        batch[2] += payload_bytes
+        batch[3] += air_bytes
+        batch[4] += retransmissions
+        stats = self.stats
+        stats._tx_joules += tx_joules
+        stats._rx_joules += rx_joules
+        for tap in self._stat_taps:
+            tap._tx_joules += tx_joules
+            tap._rx_joules += rx_joules
+
+    def _ship_broadcast(self, sender: int, receivers: tuple[int, ...],
+                        message: WireMessage) -> None:
+        """Hot-path :meth:`_ship` for one lossless multi-receiver send."""
+        payload_bytes = message.payload_bytes
+        info = (self._cost_memo.get(payload_bytes)
+                or self._memo_cost(payload_bytes))
+        packets, air_bytes, tx_joules, rx_joules_each = info
+        ledgers = self._ledger_of
+        ledgers[sender].tx += tx_joules
+        for receiver in receivers:
+            ledgers[receiver].rx += rx_joules_each
+        self._record_hot(message.kind, packets, payload_bytes, air_bytes,
+                         0, tx_joules, rx_joules_each * len(receivers))
+
+    def _memo_cost(self, payload_bytes: int) -> tuple:
+        """Fill the lossless cost memo for one payload size: one memo
+        entry yields packets, air bytes and both joule figures (energy
+        rates are fixed per deployment). Cold path only."""
+        cost = fragment_cached(payload_bytes)
+        info = self._cost_memo[payload_bytes] = (
+            cost.packets, cost.air_bytes,
+            cost.air_bytes * self._tx_rate,
+            cost.air_bytes * self._rx_rate,
+        )
+        return info
+
+    def _record_hot(self, kind: str, packets: int, payload_bytes: int,
+                    air_bytes: int, retransmissions: int,
+                    tx_joules: float, rx_total: float) -> None:
+        """Record one hot-path message: integer counters into the
+        per-epoch per-kind batch, joules eagerly into every sink (so
+        float accumulation order matches eager recording).
+
+        The joule adds write the sinks' private accumulators directly
+        — this is the single hottest call site in the simulator, and
+        Network already owns the sinks' batching lifecycle (it installs
+        their drain hooks); see NetworkStats.add_joules for the
+        public equivalent.
+        """
+        batch = self._pending_traffic.get(kind)
+        if batch is None:
+            batch = self._pending_traffic[kind] = [0, 0, 0, 0, 0]
+        batch[0] += 1
+        batch[1] += packets
+        batch[2] += payload_bytes
+        batch[3] += air_bytes
+        batch[4] += retransmissions
+        stats = self.stats
+        stats._tx_joules += tx_joules
+        stats._rx_joules += rx_total
+        for tap in self._stat_taps:
+            tap._tx_joules += tx_joules
+            tap._rx_joules += rx_total
+
+    def _flush_traffic(self) -> None:
+        """Fold the per-epoch traffic accumulator into every active
+        stats sink (the deployment ledger plus any session taps).
+
+        Installed as the sinks' drain hook, so it runs before any
+        counter read, phase boundary or snapshot — readers can never
+        observe half-recorded epochs. Tap registration flushes first,
+        so everything pending was recorded while the current sink set
+        was active.
+        """
+        pending = self._pending_traffic
+        if not pending:
+            return
+        self._pending_traffic = {}
+        sinks = (self.stats, *self._stat_taps)
+        for kind, batch in pending.items():
+            for sink in sinks:
+                sink.apply_batch(kind, batch[0], batch[1], batch[2],
+                                 batch[3], batch[4])
+
     def send_up(self, child: int, message: WireMessage) -> int:
         """Unicast from ``child`` to its tree parent; returns the parent id."""
+        if hotpath.enabled():
+            parent = self.tree._parents.get(child)
+            if parent is None:
+                parent = self.tree.parent(child)  # error semantics
+            if child != self._sink_id and not self.nodes[child].alive:
+                raise RoutingError(f"dead node {child} cannot transmit")
+            self._ship_unicast(child, parent, message)
+            return parent
         parent = self.tree.parent(child)
         if child != self.sink_id and not self.nodes[child].alive:
             raise RoutingError(f"dead node {child} cannot transmit")
@@ -165,11 +416,23 @@ class Network:
 
     def broadcast_down(self, parent: int, message: WireMessage) -> tuple[int, ...]:
         """One transmission from ``parent`` heard by all its tree children."""
-        children = self.tree.children(parent)
-        live = tuple(c for c in children if self.nodes[c].alive)
+        if hotpath.enabled():
+            self._validate_topo_caches()
+            live = self._live_children_cache.get(parent)
+            if live is None:
+                nodes = self.nodes
+                live = tuple(c for c in self.tree.children(parent)
+                             if nodes[c].alive)
+                self._live_children_cache[parent] = live
+        else:
+            children = self.tree.children(parent)
+            live = tuple(c for c in children if self.nodes[c].alive)
         if not live:
             return ()
-        self._ship(parent, live, message)
+        if hotpath.enabled() and self.radio.loss_probability == 0.0:
+            self._ship_broadcast(parent, live, message)
+        else:
+            self._ship(parent, live, message)
         return live
 
     def flood_down(self, make_message: Callable[[int], WireMessage | None]
@@ -182,6 +445,25 @@ class Network:
         relevant subtrees). Returns the number of broadcasts sent.
         """
         sends = 0
+        if hotpath.enabled():
+            self._validate_topo_caches()
+            forwarders = self._forwarders_cache
+            if forwarders is None:
+                sink = self._sink_id
+                nodes = self.nodes
+                tree = self.tree
+                forwarders = self._forwarders_cache = tuple(
+                    node_id for node_id in tree.pre_order()
+                    if (node_id == sink or nodes[node_id].alive)
+                    and tree.children(node_id)
+                )
+            for node_id in forwarders:
+                message = make_message(node_id)
+                if message is None:
+                    continue
+                if self.broadcast_down(node_id, message):
+                    sends += 1
+            return sends
         for node_id in self.tree.pre_order():
             if node_id != self.sink_id and not self.nodes[node_id].alive:
                 continue
@@ -202,6 +484,12 @@ class Network:
         receive at every hop. Returns the number of hops charged.
         """
         hops = 0
+        if hotpath.enabled():
+            path = self.tree.path_to_root(origin)
+            for node_id, parent in zip(path, path[1:]):
+                self._ship_unicast(node_id, parent, message)
+                hops += 1
+            return hops
         for node_id in self.tree.path_to_root(origin)[:-1]:
             self._ship(node_id, (self.tree.parent(node_id),), message)
             hops += 1
@@ -211,6 +499,11 @@ class Network:
         """Relay hop-by-hop from the sink to ``target``; returns hops."""
         path = self.tree.path_to_root(target)
         hops = 0
+        if hotpath.enabled():
+            for receiver, sender in zip(path[-2::-1], path[::-1]):
+                self._ship_unicast(sender, receiver, message)
+                hops += 1
+            return hops
         for receiver, sender in zip(path[:-1][::-1] or (), path[1:][::-1] or ()):
             self._ship(sender, (receiver,), message)
             hops += 1
@@ -222,6 +515,16 @@ class Network:
 
     def converge_cast_order(self) -> tuple[int, ...]:
         """Live sensors leaves-first (the per-epoch send schedule)."""
+        if hotpath.enabled():
+            self._validate_topo_caches()
+            if self._order_cache is None:
+                nodes = self.nodes
+                sink = self._sink_id
+                self._order_cache = tuple(
+                    node_id for node_id in self.tree.post_order()
+                    if node_id != sink and nodes[node_id].alive
+                )
+            return self._order_cache
         return tuple(
             node_id for node_id in self.tree.post_order()
             if node_id != self.sink_id and self.nodes[node_id].alive
@@ -229,8 +532,9 @@ class Network:
 
     def sample_all(self, attribute: str) -> dict[int, float]:
         """Every live sensor samples ``attribute`` for the current epoch."""
+        nodes, epoch = self.nodes, self.epoch
         return {
-            node_id: self.nodes[node_id].read(attribute, self.epoch)
+            node_id: nodes[node_id].read(attribute, epoch)
             for node_id in self.alive_sensor_ids()
         }
 
@@ -242,12 +546,14 @@ class Network:
         outermost block exits. That lets N query sessions each "finish
         their epoch" while the deployment's clock ticks exactly once.
         """
+        self._flush_traffic()
         if self._clock_holds:
             self._advance_requested = True
             return self.epoch
+        idle = self.energy.idle_joules_per_epoch
+        nodes = self.nodes
         for node_id in self.alive_sensor_ids():
-            self.nodes[node_id].ledger.charge_idle(
-                self.energy.idle_joules_per_epoch)
+            nodes[node_id].ledger.idle += idle
         self.epoch += 1
         return self.epoch
 
@@ -278,12 +584,19 @@ class Network:
         deployment: the global ledger keeps counting everything, while
         the tapped ledger sees only the block's messages.
         """
+        # Whatever is pending was recorded before the tap existed; fold
+        # it in now so the tap sees only the block's traffic, and give
+        # the tap the drain hook so reads inside the block stay exact.
+        self._flush_traffic()
         self._stat_taps.append(stats)
+        stats._drain_hook = self._flush_traffic
         try:
             yield stats
         finally:
-            # Unregister by identity: NetworkStats is a dataclass, so
-            # list.remove() would match any ledger with equal counters.
+            self._flush_traffic()
+            stats._drain_hook = None
+            # Unregister by identity: list.remove() would match any
+            # ledger with equal counters.
             for index, tap in enumerate(reversed(self._stat_taps)):
                 if tap is stats:
                     del self._stat_taps[len(self._stat_taps) - 1 - index]
@@ -352,7 +665,8 @@ class Network:
             with self.stats.phase("recovery"):
                 for child, parent in reattached:
                     self._ship(child, (parent,),
-                               ControlMessage(label="attach"))
+                               ControlMessage(label="attach"),
+                               rng=self._recovery_rng)
             in_tree = set(self.tree.node_ids)
             for child, parent in reattached:
                 dirty.add(child)
@@ -410,9 +724,14 @@ class Network:
         parent = min(candidates, key=lambda n: (
             self._energy_spent(n), self.tree.depth(n), n))
         self.tree = self.tree.attach(node_id, parent)
-        self.nodes[node_id] = SensorNode(node_id, board=board, group=group)
+        newborn = SensorNode(node_id, board=board, group=group)
+        newborn.on_kill = self._on_node_killed
+        self.nodes[node_id] = newborn
+        self._ledger_of[node_id] = newborn.ledger
+        self._topo_version += 1
         with self.stats.phase("recovery"):
-            self._ship(node_id, (parent,), ControlMessage(label="join"))
+            self._ship(node_id, (parent,), ControlMessage(label="join"),
+                       rng=self._recovery_rng)
         dirty = {node_id, *self.tree.path_to_root(parent)}
         dirty.discard(self.sink_id)
         self._emit(TopologyEvent(

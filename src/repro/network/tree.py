@@ -54,16 +54,27 @@ class RoutingTree:
         self._parents = dict(parents)
         if root in self._parents:
             raise TopologyError("the root cannot have a parent")
-        self._children: dict[int, list[int]] = {root: []}
+        grow: dict[int, list[int]] = {root: []}
         for child in self._parents:
-            self._children.setdefault(child, [])
+            grow.setdefault(child, [])
         for child, parent in sorted(self._parents.items()):
-            if parent not in self._children:
+            if parent not in grow:
                 raise TopologyError(
                     f"node {child} has parent {parent} which is not in the tree"
                 )
-            self._children[parent].append(child)
+            grow[parent].append(child)
+        # The tree is immutable after construction (attach/repaired
+        # build new trees), so child lists freeze into tuples here and
+        # children() becomes a plain dict lookup — the converge-cast
+        # loop asks for them once per node per epoch.
+        self._children: dict[int, tuple[int, ...]] = {
+            node: tuple(kids) for node, kids in grow.items()
+        }
         self._depths = self._compute_depths()
+        # Traversal orders are pure functions of the frozen structure;
+        # memoized lazily (see post_order / pre_order).
+        self._post_order: tuple[int, ...] | None = None
+        self._pre_order: tuple[int, ...] | None = None
 
     @classmethod
     def from_topology(cls, topology: Topology) -> "RoutingTree":
@@ -131,7 +142,7 @@ class RoutingTree:
     def children(self, node_id: int) -> tuple[int, ...]:
         """Direct children of a node."""
         try:
-            return tuple(self._children[node_id])
+            return self._children[node_id]
         except KeyError:
             raise TopologyError(f"unknown node {node_id}") from None
 
@@ -156,29 +167,34 @@ class RoutingTree:
 
         This is the converge-cast schedule: by the time a node is
         visited, every descendant has already produced its message.
+        Computed once and memoized (the tree never mutates).
         """
-        order: list[int] = []
-        stack: list[tuple[int, bool]] = [(self._root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if expanded:
-                order.append(node)
-            else:
-                stack.append((node, True))
-                for child in reversed(self._children[node]):
-                    stack.append((child, False))
-        return tuple(order)
+        if self._post_order is None:
+            order: list[int] = []
+            stack: list[tuple[int, bool]] = [(self._root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    order.append(node)
+                else:
+                    stack.append((node, True))
+                    for child in reversed(self._children[node]):
+                        stack.append((child, False))
+            self._post_order = tuple(order)
+        return self._post_order
 
     def pre_order(self) -> tuple[int, ...]:
-        """Root-first order (the dissemination schedule)."""
-        order: list[int] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            order.append(node)
-            for child in reversed(self._children[node]):
-                stack.append(child)
-        return tuple(order)
+        """Root-first order (the dissemination schedule); memoized."""
+        if self._pre_order is None:
+            order: list[int] = []
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                order.append(node)
+                for child in reversed(self._children[node]):
+                    stack.append(child)
+            self._pre_order = tuple(order)
+        return self._pre_order
 
     def subtree(self, node_id: int) -> tuple[int, ...]:
         """All nodes in the subtree rooted at ``node_id`` (inclusive)."""

@@ -1,0 +1,327 @@
+"""``repro perf`` — the repo's performance harness.
+
+Drives the standard multi-query workload (the e11 mix: four concurrent
+MINT monitoring queries plus one historic TJA session) through the
+layered :mod:`repro.api` facade at fleet sizes N ∈ {25, 100, 400,
+1000}, measures wall-clock per epoch, epochs/sec, messages/sec and
+resident memory, and writes a schema-versioned ``BENCH_perf.json`` —
+the machine-readable perf trajectory every PR can be judged against.
+
+Methodology (matching ``bench_e13_api_overhead``): each fleet size is
+timed **best-of-R with interleaved repetitions**, so ambient drift (GC
+pressure, CPU frequency excursions) lands on every configuration
+equally; deterministic simulations have no other variance worth
+averaging. With ``compare_reference=True`` every size also runs on the
+unoptimized reference path (:mod:`repro.network.hotpath`), interleaved
+hot/reference, yielding a machine-normalized speedup — the number the
+CI regression gate watches, since absolute epochs/sec are incomparable
+across runners.
+
+Fleet layouts are near-square grids with exactly N sensors partitioned
+into 16 rooms, built by :func:`fleet_scenario` (square sizes reproduce
+``grid_rooms_scenario`` exactly).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Sequence
+
+from . import __version__
+from .network import hotpath
+from .network.simulator import Network
+from .network.topology import Topology
+from .scenarios import Scenario, preset_churn
+from .sensing.board import SensorBoard
+from .sensing.generators import RoomField
+
+#: Version tag written into every BENCH_perf.json (bump on any
+#: backwards-incompatible change to the payload layout).
+SCHEMA = "kspot-perf/1"
+
+#: The e11 workload: four concurrent monitoring queries ranking rooms
+#: by different aggregates plus one historic TJA pass.
+WORKLOAD_QUERIES = (
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 1 roomid, MAX(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 3 roomid, SUM(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 1 roomid, MIN(sound) FROM sensors "
+    "GROUP BY roomid EPOCH DURATION 1 min",
+    "SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+    "GROUP BY epoch WITH HISTORY 10 s EPOCH DURATION 1 s",
+)
+
+#: Default fleet sizes (the ISSUE's scaling ladder).
+FLEET_SIZES = (25, 100, 400, 1000)
+
+#: Measured epochs per fleet size: enough for a stable per-epoch
+#: number, small enough that the full ladder stays interactive.
+EPOCHS_FOR = {25: 60, 100: 40, 400: 16, 1000: 6}
+
+#: Warm-up epochs excluded from timing (creation phase, cache priming).
+WARMUP_EPOCHS = 2
+
+
+def fleet_scenario(n: int, seed: int = 11,
+                   rooms_per_axis: int = 4) -> Scenario:
+    """A deployment of exactly ``n`` sensors on a near-square grid.
+
+    Square ``n`` uses the canonical ``side × side`` layout of
+    :func:`repro.scenarios.grid_rooms_scenario`; other sizes extend it
+    to ``rows × cols`` (rows = ⌊√n⌋) with the trailing row truncated,
+    so N = 1000 is a 31 × 33 grid missing 23 corner motes.
+    """
+    spacing = 10.0
+    rows = max(1, math.isqrt(n))
+    cols = math.ceil(n / rows)
+    positions: dict[int, tuple[float, float]] = {0: (0.0, 0.0)}
+    room_of: dict[int, Hashable] = {}
+    row_block = max(1, rows // rooms_per_axis)
+    col_block = max(1, cols // rooms_per_axis)
+    node_id = 1
+    for row in range(rows):
+        for col in range(cols):
+            if node_id > n:
+                break
+            positions[node_id] = (col * spacing, row * spacing)
+            room = (min(row // row_block, rooms_per_axis - 1),
+                    min(col // col_block, rooms_per_axis - 1))
+            room_of[node_id] = f"R{room[0]}{room[1]}"
+            node_id += 1
+    topology = Topology(positions=positions, radio_range=spacing * 1.5)
+    sound = RoomField(room_of, lo=0.0, hi=100.0, room_step=4.0,
+                      sensor_sigma=1.5, seed=seed)
+    boards = {i: SensorBoard({"sound": sound}) for i in room_of}
+    network = Network(topology, boards=boards, group_of=room_of)
+    return Scenario(network=network, group_of=room_of,
+                    attribute="sound", field=sound)
+
+
+def rss_bytes() -> int:
+    """Current resident set size (no psutil; /proc on Linux, peak
+    rusage elsewhere)."""
+    try:
+        with open("/proc/self/statm") as statm:
+            pages = int(statm.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):
+        import resource
+
+        rusage = resource.getrusage(resource.RUSAGE_SELF)
+        scale = 1 if sys.platform == "darwin" else 1024
+        return rusage.ru_maxrss * scale
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """One driving mode's best-of-R timing at one fleet size."""
+
+    wall_seconds: float
+    epochs: int
+    messages: int
+
+    @property
+    def epochs_per_sec(self) -> float:
+        return self.epochs / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def messages_per_sec(self) -> float:
+        return self.messages / self.wall_seconds if self.wall_seconds else 0.0
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """Everything measured at one fleet size."""
+
+    n_nodes: int
+    sessions: int
+    repeats: int
+    hot: PathTiming
+    reference: PathTiming | None
+    peak_rss_bytes: int
+
+    @property
+    def speedup(self) -> float | None:
+        """Hot-path epochs/sec over reference epochs/sec (same host)."""
+        if self.reference is None:
+            return None
+        return self.hot.epochs_per_sec / self.reference.epochs_per_sec
+
+    def as_dict(self) -> dict:
+        data = {
+            "n_nodes": self.n_nodes,
+            "sessions": self.sessions,
+            "repeats": self.repeats,
+            "epochs": self.hot.epochs,
+            "wall_seconds": self.hot.wall_seconds,
+            "epochs_per_sec": self.hot.epochs_per_sec,
+            "messages": self.hot.messages,
+            "messages_per_sec": self.hot.messages_per_sec,
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+        if self.reference is not None:
+            data["reference"] = {
+                "wall_seconds": self.reference.wall_seconds,
+                "epochs_per_sec": self.reference.epochs_per_sec,
+                "messages_per_sec": self.reference.messages_per_sec,
+            }
+            data["speedup_vs_reference"] = self.speedup
+        return data
+
+
+@dataclass
+class PerfReport:
+    """The whole ladder, ready to serialize."""
+
+    samples: list[PerfSample] = field(default_factory=list)
+    churn: str | None = None
+    seed: int = 11
+    quick: bool = False
+
+    def sample_for(self, n_nodes: int) -> PerfSample | None:
+        for sample in self.samples:
+            if sample.n_nodes == n_nodes:
+                return sample
+        return None
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "version": __version__,
+            "workload": "e11-multiquery",
+            "queries": list(WORKLOAD_QUERIES),
+            "methodology": (
+                "best-of-R interleaved repetitions; "
+                f"{WARMUP_EPOCHS} warm-up epochs excluded"
+            ),
+            "churn": self.churn,
+            "seed": self.seed,
+            "quick": self.quick,
+            "platform": {
+                "python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+            "results": [sample.as_dict() for sample in self.samples],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2,
+                                   sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+
+def _drive_once(n: int, epochs: int, seed: int,
+                churn: str | None, churn_seed: int,
+                hot: bool) -> tuple[float, int, int]:
+    """One timed run; returns (wall seconds, messages timed, RSS
+    sampled with the run's deployment still live)."""
+    from .api import ChurnIntervention, Deployment, EpochDriver
+
+    previous = hotpath.enabled()
+    hotpath.set_enabled(hot)
+    try:
+        scenario = fleet_scenario(n, seed=seed)
+        deployment = Deployment.from_scenario(scenario)
+        interventions = []
+        if churn is not None:
+            schedule = preset_churn(
+                scenario.network.topology, WARMUP_EPOCHS + epochs,
+                preset=churn, seed=churn_seed,
+                group_for=scenario.churn_group_for, field=scenario.field)
+            interventions.append(
+                ChurnIntervention(schedule, board_for=scenario.board_for))
+        driver = EpochDriver(deployment, interventions=interventions)
+        for query in WORKLOAD_QUERIES:
+            deployment.submit(query)
+        driver.run(WARMUP_EPOCHS)
+        stats = scenario.network.stats
+        messages_before = stats.messages
+        gc.collect()
+        started = time.perf_counter()
+        driver.run(epochs)
+        elapsed = time.perf_counter() - started
+        return elapsed, stats.messages - messages_before, rss_bytes()
+    finally:
+        hotpath.set_enabled(previous)
+
+
+def measure_fleet(n: int, epochs: int, repeats: int = 3, seed: int = 11,
+                  churn: str | None = None, churn_seed: int = 0,
+                  compare_reference: bool = False) -> PerfSample:
+    """Best-of-``repeats`` timings for one fleet size (interleaving the
+    hot and reference paths when comparing)."""
+    best_hot = best_ref = float("inf")
+    msgs_hot = msgs_ref = 0
+    peak_rss = 0
+    for _ in range(repeats):
+        elapsed, messages, rss = _drive_once(n, epochs, seed, churn,
+                                             churn_seed, hot=True)
+        # RSS is sampled inside each hot-path run (deployment still
+        # live) and maxed over repeats, so reference runs and other
+        # ladder sizes do not pollute the figure. Memory freed between
+        # sizes keeps the numbers per-size meaningful, though CPython
+        # may retain allocator arenas from earlier (smaller) sizes.
+        peak_rss = max(peak_rss, rss)
+        if elapsed < best_hot:
+            best_hot, msgs_hot = elapsed, messages
+        if compare_reference:
+            elapsed, messages, _ = _drive_once(n, epochs, seed, churn,
+                                               churn_seed, hot=False)
+            if elapsed < best_ref:
+                best_ref, msgs_ref = elapsed, messages
+    reference = (PathTiming(best_ref, epochs, msgs_ref)
+                 if compare_reference else None)
+    return PerfSample(
+        n_nodes=n,
+        sessions=len(WORKLOAD_QUERIES),
+        repeats=repeats,
+        hot=PathTiming(best_hot, epochs, msgs_hot),
+        reference=reference,
+        peak_rss_bytes=peak_rss,
+    )
+
+
+def run_perf(sizes: Sequence[int] = FLEET_SIZES,
+             repeats: int = 3, seed: int = 11,
+             churn: str | None = None, churn_seed: int = 0,
+             compare_reference: bool = False,
+             quick: bool = False,
+             epochs_for: dict[int, int] | None = None,
+             progress=None) -> PerfReport:
+    """Measure the whole fleet-size ladder.
+
+    ``quick`` trims the *default* ladder to N ∈ {25, 100} with fewer
+    repeats — the CI smoke configuration; an explicitly chosen ``sizes``
+    selection is honoured as given. ``progress`` is an optional
+    callback invoked with each finished :class:`PerfSample`.
+    """
+    if quick:
+        if tuple(sizes) == FLEET_SIZES:
+            sizes = (25, 100)
+        repeats = min(repeats, 2)
+    epochs_for = epochs_for or EPOCHS_FOR
+    report = PerfReport(churn=churn, seed=seed, quick=quick)
+    for n in sizes:
+        epochs = epochs_for.get(n) or max(4, 24_000 // max(n, 1) // 4)
+        sample = measure_fleet(
+            n, epochs, repeats=repeats, seed=seed, churn=churn,
+            churn_seed=churn_seed, compare_reference=compare_reference)
+        report.samples.append(sample)
+        if progress is not None:
+            progress(sample)
+    return report

@@ -1,0 +1,268 @@
+"""The optimized hot path is observationally identical to the
+reference path.
+
+The epoch loop's performance work (memoized fragment costs, cached
+payload sizes, per-epoch traffic batching, topology caches, the fused
+MINT update pass — see ``repro.network.hotpath``) must be *invisible*:
+same answers, same :class:`~repro.network.stats.NetworkStats` counters
+bit-for-bit, same per-phase snapshots, same energy ledgers, same RNG
+consumption. These property tests drive random scenarios, ranks,
+engines and churn schedules through both paths and compare everything.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ChurnIntervention, Deployment, EpochDriver
+from repro.network import hotpath
+from repro.network.churn import ChurnEvent, ChurnKind, ChurnSchedule
+from repro.network.link import RadioModel
+from repro.network.messages import ControlMessage
+from repro.network.packets import (
+    HEADER_BYTES,
+    PAYLOAD_MTU,
+    fragment,
+    fragment_cached,
+)
+from repro.network.simulator import Network
+from repro.network.topology import grid_topology
+from repro.query.plan import Algorithm
+from repro.scenarios import grid_rooms_scenario
+
+
+def stats_signature(stats):
+    """Every observable of a NetworkStats ledger, as comparable data."""
+    return (
+        stats.summary(),
+        dict(stats.by_kind),
+        dict(stats.bytes_by_kind),
+        dict(stats.by_phase),
+    )
+
+
+def ledger_signature(network):
+    return {
+        node_id: (ledger.tx, ledger.rx, ledger.sensing, ledger.idle,
+                  ledger.storage)
+        for node_id, ledger in sorted(
+            (i, network.ledger(i))
+            for i in (network.sink_id, *network.tree.sensor_ids))
+    }
+
+
+def answers_of(handle):
+    if handle.is_historic:
+        result = handle.historic_result
+        if result is None:
+            return None
+        return tuple((i.key, i.score, i.lb, i.ub) for i in result.items)
+    return tuple(
+        (r.epoch, r.exact, r.probed,
+         tuple((i.key, i.score, i.lb, i.ub) for i in r.items))
+        for r in handle.results
+    )
+
+
+QUERY_BY_ENGINE = {
+    "mint": ("SELECT TOP {k} roomid, {agg}(sound) FROM sensors "
+             "GROUP BY roomid EPOCH DURATION 1 min", None),
+    "tag": ("SELECT TOP {k} roomid, {agg}(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min", Algorithm.TAG),
+    "centralized": ("SELECT TOP {k} roomid, {agg}(sound) FROM sensors "
+                    "GROUP BY roomid EPOCH DURATION 1 min",
+                    Algorithm.CENTRALIZED),
+    "fila": ("SELECT TOP {k} nodeid, {agg}(sound) FROM sensors "
+             "GROUP BY nodeid EPOCH DURATION 1 min", Algorithm.FILA),
+    "tja": ("SELECT TOP {k} epoch, {agg}(sound) FROM sensors "
+            "GROUP BY epoch WITH HISTORY 5 s EPOCH DURATION 1 s", None),
+}
+
+
+def run_workload(*, seed, k, agg, engines, epochs, churn_seed):
+    """One deterministic run; returns every observable as plain data."""
+    scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=seed)
+    deployment = Deployment.from_scenario(scenario)
+    interventions = []
+    if churn_seed is not None:
+        tree = scenario.network.tree
+        victims = [n for n in tree.sensor_ids if tree.is_leaf(n)]
+        victim = victims[churn_seed % len(victims)]
+        schedule = ChurnSchedule([
+            ChurnEvent(2, ChurnKind.DEATH, victim),
+            ChurnEvent(3, ChurnKind.BIRTH, 99, position=(5.0, 5.0),
+                       group=scenario.group_of.get(victim)),
+        ])
+        interventions.append(
+            ChurnIntervention(schedule, board_for=scenario.board_for))
+    driver = EpochDriver(deployment, interventions=interventions)
+    handles = []
+    for engine in engines:
+        template, algorithm = QUERY_BY_ENGINE[engine]
+        query = template.format(k=k, agg=agg)
+        handles.append(deployment.submit(query, algorithm=algorithm))
+    driver.run(epochs)
+    network = scenario.network
+    return (
+        [answers_of(h) for h in handles],
+        stats_signature(network.stats),
+        [stats_signature(h.stats) for h in handles],
+        ledger_signature(network),
+        network.epoch,
+        [h.state.value for h in handles],
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(1, 3),
+    agg=st.sampled_from(["AVG", "MAX", "SUM", "MIN"]),
+    engines=st.lists(
+        st.sampled_from(sorted(QUERY_BY_ENGINE)),
+        min_size=1, max_size=3, unique=True),
+    epochs=st.integers(3, 7),
+    churn_seed=st.one_of(st.none(), st.integers(0, 7)),
+)
+def test_hot_path_equals_reference_path(seed, k, agg, engines, epochs,
+                                        churn_seed):
+    """Answers, stats, per-session taps, per-phase snapshots and energy
+    ledgers are identical — bit-for-bit — on both paths, across random
+    scenarios, ranks, aggregates, engine mixes and churn schedules."""
+    kwargs = dict(seed=seed, k=k, agg=agg, engines=engines,
+                  epochs=epochs, churn_seed=churn_seed)
+    with hotpath.reference_path():
+        reference = run_workload(**kwargs)
+    assert hotpath.enabled(), "reference_path() must restore the flag"
+    hot = run_workload(**kwargs)
+    assert hot == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(0.05, 0.4),
+    payloads=st.lists(st.integers(0, 120), min_size=1, max_size=30),
+)
+def test_lossy_transport_equivalence(seed, loss, payloads):
+    """With a lossy radio both paths draw the same retransmissions from
+    the same RNG stream and record identical counters and drops."""
+
+    def ship_all():
+        network = Network(grid_topology(3),
+                          radio=RadioModel(range_m=20.0,
+                                           loss_probability=loss),
+                          seed=seed)
+        drops = 0
+        for index, payload in enumerate(payloads):
+            child = network.tree.sensor_ids[
+                index % len(network.tree.sensor_ids)]
+            try:
+                network.send_up(child, ControlMessage(label="x",
+                                                      size=payload))
+            except Exception:
+                drops += 1
+        network.advance_epoch()
+        return (stats_signature(network.stats), ledger_signature(network),
+                drops, network._rng.random())
+
+    with hotpath.reference_path():
+        reference = ship_all()
+    assert ship_all() == reference
+
+
+class TestFragmentMemo:
+    """Boundary behaviour of the memoized fragment table."""
+
+    def test_zero_byte_message_still_costs_one_frame(self):
+        assert fragment_cached(0) == fragment(0)
+        assert fragment_cached(0).packets == 1
+        assert fragment_cached(0).air_bytes == HEADER_BYTES
+
+    @pytest.mark.parametrize("multiple", [1, 2, 3, 7])
+    def test_exact_mtu_multiples(self, multiple):
+        payload = PAYLOAD_MTU * multiple
+        cost = fragment_cached(payload)
+        assert cost == fragment(payload)
+        assert cost.packets == multiple
+        assert cost.air_bytes == payload + multiple * HEADER_BYTES
+
+    @pytest.mark.parametrize("payload", [1, PAYLOAD_MTU - 1, PAYLOAD_MTU,
+                                         PAYLOAD_MTU + 1, 1000])
+    def test_memo_matches_reference(self, payload):
+        assert fragment_cached(payload) == fragment(payload)
+
+    def test_memo_returns_shared_instances(self):
+        assert fragment_cached(42) is fragment_cached(42)
+
+    def test_custom_mtu_keys_separately(self):
+        assert fragment_cached(30).packets == 2
+        assert fragment_cached(30, 30).packets == 1
+
+    @given(payload=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_memo_equals_reference_everywhere(self, payload):
+        assert fragment_cached(payload) == fragment(payload)
+
+
+class TestReferencePathToggle:
+    def test_toggle_restores_on_error(self):
+        try:
+            with hotpath.reference_path():
+                assert not hotpath.enabled()
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert hotpath.enabled()
+
+    def test_nested_toggle(self):
+        with hotpath.reference_path():
+            with hotpath.reference_path():
+                assert not hotpath.enabled()
+            assert not hotpath.enabled()
+        assert hotpath.enabled()
+
+
+class TestPerPurposeRngStreams:
+    """Churn recovery must not perturb the loss process (the old
+    single-stream design made runs with a topologically-irrelevant
+    join diverge from runs without it)."""
+
+    def _monitor_traffic(self, with_join: bool):
+        network = Network(grid_topology(3),
+                          radio=RadioModel(range_m=20.0,
+                                           loss_probability=0.2),
+                          seed=7)
+        sent = []
+        sensor_ids = network.tree.sensor_ids
+        for step in range(40):
+            if with_join and step == 20:
+                # A mote joins in radio range but never transmits any
+                # session traffic: the loss outcomes of everything else
+                # must be unaffected.
+                network.join_node(99, (5.0, 5.0))
+            child = sensor_ids[step % len(sensor_ids)]
+            before = network.stats.retransmissions
+            try:
+                network.send_up(child, ControlMessage(label="m"))
+                sent.append(network.stats.retransmissions - before)
+            except Exception:
+                sent.append(-1)
+        return sent
+
+    def test_join_does_not_shift_loss_stream(self):
+        assert self._monitor_traffic(False) == self._monitor_traffic(True)
+
+    def test_recovery_stream_is_deterministic_and_distinct(self):
+        drawn = []
+        for _ in range(2):
+            network = Network(grid_topology(3), seed=3)
+            drawn.append(network._recovery_rng.random())
+        assert drawn[0] == drawn[1]
+        # The recovery stream is derived from — not equal to — the
+        # loss seed; sharing the sequence would re-couple the streams.
+        assert random.Random(3).random() != drawn[0]

@@ -129,13 +129,53 @@ class TestNetworkStats:
                 stats.record("view_update", 1, 10, 17, 0.0, 0.0)
         assert stats.by_phase["update"].messages == 2
 
-    def test_nested_phases_both_credited(self):
+    def test_nested_phases_attribute_exclusively(self):
+        """Traffic inside a nested phase belongs to the innermost phase
+        only — the enclosing phase's delta excludes it, so by_phase
+        partitions the traffic (no double counting)."""
         stats = NetworkStats()
         with stats.phase("outer"):
+            stats.record("x", 1, 3, 10, 0.0, 0.0)
             with stats.phase("inner"):
                 stats.record("x", 1, 5, 12, 0.0, 0.0)
+            stats.record("x", 1, 7, 14, 0.0, 0.0)
         assert stats.by_phase["inner"].payload_bytes == 5
-        assert stats.by_phase["outer"].payload_bytes == 5
+        assert stats.by_phase["outer"].payload_bytes == 3 + 7
+        assert stats.by_phase["outer"].messages == 2
+        total = sum(snap.payload_bytes for snap in stats.by_phase.values())
+        assert total == stats.payload_bytes
+
+    def test_recovery_inside_session_phase_not_double_attributed(self):
+        """The regression this contract fixes: a churn repair opening
+        the "recovery" phase in the middle of a session phase used to
+        charge the handshake to both phases."""
+        stats = NetworkStats()
+        with stats.phase("update"):
+            stats.record("view_update", 1, 10, 17, 0.0, 0.0)
+            with stats.phase("recovery"):
+                stats.record("control", 1, 8, 15, 0.0, 0.0)
+            stats.record("view_update", 1, 10, 17, 0.0, 0.0)
+        assert stats.by_phase["recovery"].messages == 1
+        assert stats.by_phase["recovery"].payload_bytes == 8
+        assert stats.by_phase["update"].messages == 2
+        assert stats.by_phase["update"].payload_bytes == 20
+
+    def test_deeply_nested_phases_partition(self):
+        stats = NetworkStats()
+        with stats.phase("a"):
+            with stats.phase("b"):
+                stats.record("x", 1, 1, 8, 0.0, 0.0)
+                with stats.phase("c"):
+                    stats.record("x", 1, 2, 9, 0.0, 0.0)
+            # Re-entering a nested phase still accumulates into it.
+            with stats.phase("b"):
+                stats.record("x", 1, 4, 11, 0.0, 0.0)
+            stats.record("x", 1, 8, 15, 0.0, 0.0)
+        assert stats.by_phase["c"].payload_bytes == 2
+        assert stats.by_phase["b"].payload_bytes == 1 + 4
+        assert stats.by_phase["a"].payload_bytes == 8
+        total = sum(snap.payload_bytes for snap in stats.by_phase.values())
+        assert total == stats.payload_bytes == 1 + 2 + 4 + 8
 
     def test_drop_counter(self):
         stats = NetworkStats()

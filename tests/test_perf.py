@@ -1,0 +1,175 @@
+"""The ``repro.perf`` harness: fleet builder, measurements, schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf import (
+    EPOCHS_FOR,
+    FLEET_SIZES,
+    SCHEMA,
+    PathTiming,
+    PerfSample,
+    fleet_scenario,
+    rss_bytes,
+    run_perf,
+)
+
+
+class TestFleetScenario:
+    @pytest.mark.parametrize("n", [1, 9, 25, 30, 100, 1000])
+    def test_exact_fleet_size(self, n):
+        scenario = fleet_scenario(n)
+        assert len(scenario.network.tree.sensor_ids) == n
+
+    def test_square_sizes_match_canonical_grid(self):
+        from repro.scenarios import grid_rooms_scenario
+
+        ours = fleet_scenario(25, seed=3)
+        canonical = grid_rooms_scenario(side=5, rooms_per_axis=4, seed=3)
+        assert (ours.network.topology.positions
+                == canonical.network.topology.positions)
+        assert ours.group_of == canonical.group_of
+
+    def test_every_sensor_has_board_and_room(self):
+        scenario = fleet_scenario(30)
+        for node_id in scenario.network.tree.sensor_ids:
+            assert scenario.network.node(node_id).board is not None
+            assert node_id in scenario.group_of
+
+    def test_default_ladder(self):
+        assert FLEET_SIZES == (25, 100, 400, 1000)
+        assert set(EPOCHS_FOR) == set(FLEET_SIZES)
+
+
+class TestMeasurement:
+    def test_run_perf_produces_schema_versioned_report(self, tmp_path):
+        report = run_perf(sizes=(9,), repeats=1,
+                          epochs_for={9: 3})
+        data = report.as_dict()
+        assert data["schema"] == SCHEMA
+        assert data["workload"] == "e11-multiquery"
+        assert len(data["queries"]) == 5
+        (sample,) = data["results"]
+        assert sample["n_nodes"] == 9
+        assert sample["epochs"] == 3
+        assert sample["epochs_per_sec"] > 0
+        assert sample["messages_per_sec"] > 0
+        assert sample["peak_rss_bytes"] > 0
+        assert "reference" not in sample
+
+        path = report.write(tmp_path / "BENCH_perf.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(data))
+
+    def test_compare_reference_reports_speedup(self):
+        report = run_perf(sizes=(9,), repeats=1, epochs_for={9: 3},
+                          compare_reference=True)
+        sample = report.sample_for(9)
+        assert sample.reference is not None
+        assert sample.speedup == pytest.approx(
+            sample.hot.epochs_per_sec / sample.reference.epochs_per_sec)
+        assert sample.as_dict()["speedup_vs_reference"] == sample.speedup
+
+    def test_quick_mode_trims_the_ladder(self):
+        report = run_perf(sizes=(25, 100, 400, 1000), repeats=1,
+                          quick=True, epochs_for={25: 2, 100: 2})
+        assert [s.n_nodes for s in report.samples] == [25, 100]
+        assert all(s.repeats == 1 for s in report.samples)
+        assert report.as_dict()["quick"] is True
+
+    def test_churn_workload_runs(self):
+        report = run_perf(sizes=(16,), repeats=1, epochs_for={16: 4},
+                          churn="calm", churn_seed=1)
+        assert report.sample_for(16).hot.epochs_per_sec > 0
+        assert report.as_dict()["churn"] == "calm"
+
+    def test_rss_probe_is_positive(self):
+        assert rss_bytes() > 1_000_000  # a python process is >1 MB
+
+    def test_path_timing_rates(self):
+        timing = PathTiming(wall_seconds=2.0, epochs=10, messages=500)
+        assert timing.epochs_per_sec == 5.0
+        assert timing.messages_per_sec == 250.0
+
+    def test_sample_speedup_none_without_reference(self):
+        sample = PerfSample(n_nodes=1, sessions=5, repeats=1,
+                            hot=PathTiming(1.0, 1, 1), reference=None,
+                            peak_rss_bytes=1)
+        assert sample.speedup is None
+        assert "speedup_vs_reference" not in sample.as_dict()
+
+
+class TestPerfCli:
+    def test_perf_subcommand_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_perf.json"
+        code = cli_main(["perf", "--sizes", "9", "--repeats", "1",
+                         "--output", str(output)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(output.read_text())
+        assert data["schema"] == SCHEMA
+        assert data["results"][0]["n_nodes"] == 9
+
+    def test_bad_sizes_rejected(self, capsys):
+        assert cli_main(["perf", "--sizes", "ten"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+
+class TestRegressionGate:
+    def _report(self, speedup, eps=100.0, n=100):
+        return {
+            "schema": SCHEMA,
+            "workload": "e11-multiquery",
+            "results": [{
+                "n_nodes": n,
+                "epochs_per_sec": eps,
+                "speedup_vs_reference": speedup,
+            }],
+        }
+
+    def _run_gate(self, tmp_path, fresh_speedup, committed_speedup):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "check_perf_regression",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "check_perf_regression.py")
+        gate = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gate)
+
+        report = tmp_path / "BENCH_perf.json"
+        report.write_text(json.dumps(self._report(fresh_speedup)))
+        trajectory = tmp_path / "trajectory.json"
+        trajectory.write_text(json.dumps(self._report(committed_speedup)))
+        return gate.main([str(report), "--trajectory", str(trajectory)])
+
+    def test_within_tolerance_passes(self, tmp_path):
+        assert self._run_gate(tmp_path, 1.9, 2.0) == 0
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        assert self._run_gate(tmp_path, 1.5, 2.0) == 1
+
+    def test_write_refreshes_trajectory(self, tmp_path):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "check_perf_regression",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "check_perf_regression.py")
+        gate = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gate)
+
+        report = tmp_path / "BENCH_perf.json"
+        report.write_text(json.dumps(self._report(2.0)))
+        trajectory = tmp_path / "trajectory.json"
+        assert gate.main([str(report), "--trajectory", str(trajectory),
+                          "--write"]) == 0
+        data = json.loads(trajectory.read_text())
+        assert data["schema"] == gate.TRAJECTORY_SCHEMA
+        assert data["results"][0]["speedup_vs_reference"] == 2.0

@@ -3,9 +3,14 @@ behaves exactly like the pre-facade server, delegates to the
 ``repro.api`` layers, and warns — exactly once per entry point per
 server instance.
 
-These are the only first-party callers of the legacy facade; the rest
+These are the only first-party callers of the legacy facade. The rest
 of the repo runs with ``KSpotServer`` deprecation warnings promoted to
-errors (see pytest.ini), so every usage here is deliberately wrapped.
+errors (see pytest.ini), and that promotion applies *here too*: every
+deliberate legacy call that is expected to warn is wrapped in
+``pytest.warns`` (via the :func:`legacy` helper), which consumes the
+warning. A call that warned unexpectedly — or a wrapped call that went
+silent — fails the test, so the suite leaks no warnings and the
+once-per-entry-point contract is enforced on every use.
 """
 
 import warnings
@@ -30,12 +35,11 @@ HISTORIC = ("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
             "GROUP BY epoch WITH HISTORY 6 s EPOCH DURATION 1 s")
 
 
-@pytest.fixture(autouse=True)
-def _legacy_warnings_allowed():
-    """Shim tests exercise the deprecated surface on purpose."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("always", DeprecationWarning)
-        yield
+def legacy(name: str):
+    """Expect (and consume) the one deprecation warning of an entry
+    point's first use on a server instance."""
+    return pytest.warns(DeprecationWarning,
+                        match=rf"KSpotServer\.{name} is deprecated")
 
 
 def figure1_server():
@@ -52,30 +56,34 @@ def grid_server(seed=5):
 class TestSubmission:
     def test_schema_derived_from_boards(self):
         server = figure1_server()
-        plan = server.submit("SELECT TOP 1 roomid, AVERAGE(sound) "
-                             "FROM sensors GROUP BY roomid")
+        with legacy("submit"):
+            plan = server.submit("SELECT TOP 1 roomid, AVERAGE(sound) "
+                                 "FROM sensors GROUP BY roomid")
         assert plan.algorithm is Algorithm.MINT
 
     def test_invalid_query_rejected(self):
         server = figure1_server()
-        with pytest.raises(QueryError):
+        with legacy("submit"), pytest.raises(QueryError):
             server.submit("SELECT AVG(humidity) FROM sensors")
 
     def test_run_before_submit_rejected(self):
         server = figure1_server()
-        with pytest.raises(PlanError, match="no query"):
+        with legacy("run"), pytest.raises(PlanError, match="no query"):
             server.run(1)
 
 
 class TestStreaming:
     def test_results_collected(self):
         server = figure1_server()
-        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
-                      "GROUP BY roomid EPOCH DURATION 1 min")
-        results = server.run(3)
+        with legacy("submit"):
+            server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                          "GROUP BY roomid EPOCH DURATION 1 min")
+        with legacy("run"):
+            results = server.run(3)
         assert len(results) == 3
         assert [r.top.key for r in results] == ["C", "C", "C"]
-        assert server.results == results
+        with legacy("results"):
+            assert server.results == results
 
     def test_display_panel_rerank(self):
         scenario = figure1_scenario()
@@ -87,20 +95,26 @@ class TestStreaming:
             cluster_of=dict(scenario.group_of))
         server = KSpotServer(scenario.network, group_of=scenario.group_of,
                              display=display)
-        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
-                      "GROUP BY roomid")
-        server.run(1)
+        with legacy("submit"):
+            server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                          "GROUP BY roomid")
+        with legacy("run"):
+            server.run(1)
         assert display.bullets[0].cluster == "C"
         assert display.bullets[0].rank == 1
 
     def test_resubmit_resets_results(self):
         server = figure1_server()
-        server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
-                      "GROUP BY roomid")
-        server.run(2)
+        with legacy("submit"):
+            server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+                          "GROUP BY roomid")
+        with legacy("run"):
+            server.run(2)
+        # Second submit on the same instance is deliberately silent.
         server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
                       "GROUP BY roomid")
-        assert server.results == []
+        with legacy("results"):
+            assert server.results == []
 
 
 class TestSavingsPanel:
@@ -109,10 +123,13 @@ class TestSavingsPanel:
         shadow = conference_scenario(seed=7)
         server = KSpotServer(scenario.network, group_of=scenario.group_of,
                              baseline_network=shadow.network)
-        server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
-                      "GROUP BY roomid EPOCH DURATION 1 min")
-        server.run(6)
-        panel = server.system_panel
+        with legacy("submit"):
+            server.submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+                          "GROUP BY roomid EPOCH DURATION 1 min")
+        with legacy("run"):
+            server.run(6)
+        with legacy("system_panel"):
+            panel = server.system_panel
         assert panel is not None
         assert len(panel.samples) == 6
         # MINT never costs more than TAG on the same readings.
@@ -124,10 +141,12 @@ class TestSavingsPanel:
         shadow = conference_scenario(seed=7)
         server = KSpotServer(scenario.network, group_of=scenario.group_of,
                              baseline_network=shadow.network)
-        server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
-                      "GROUP BY roomid EPOCH DURATION 1 min")
-        for _result in server.stream(5):
-            assert server.baseline_engine is not None
+        with legacy("submit"):
+            server.submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors "
+                          "GROUP BY roomid EPOCH DURATION 1 min")
+        with legacy("stream"), legacy("baseline_engine"):
+            for _result in server.stream(5):
+                assert server.baseline_engine is not None
         # The shadow ran the same number of epochs.
         assert shadow.network.epoch == scenario.network.epoch
 
@@ -136,9 +155,12 @@ class TestHistoricLifecycle:
     def test_run_historic(self):
         scenario = conference_scenario(seed=8)
         server = KSpotServer(scenario.network, group_of=scenario.group_of)
-        server.submit("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
-                      "GROUP BY epoch WITH HISTORY 12 s EPOCH DURATION 1 s")
-        result = server.run_historic()
+        with legacy("submit"):
+            server.submit("SELECT TOP 3 epoch, AVG(sound) FROM sensors "
+                          "GROUP BY epoch WITH HISTORY 12 s "
+                          "EPOCH DURATION 1 s")
+        with legacy("run_historic"):
+            result = server.run_historic()
         assert len(result.items) == 3
         assert result.items[0].score >= result.items[-1].score
 
@@ -146,8 +168,9 @@ class TestHistoricLifecycle:
         """The old server raised on stream()ing a one-shot query; the
         shim still does."""
         _, server = grid_server()
-        server.submit(HISTORIC)
-        with pytest.raises(PlanError, match="run_historic"):
+        with legacy("submit"):
+            server.submit(HISTORIC)
+        with legacy("run"), pytest.raises(PlanError, match="run_historic"):
             server.run(3)
 
 
@@ -156,52 +179,72 @@ class TestLegacyFlowSemantics:
         """The single-query facade still behaves like the old server:
         submit replaces everything."""
         _, server = grid_server()
-        server.submit_session(MONITOR)
+        with legacy("submit_session"):
+            server.submit_session(MONITOR)
         server.submit_session(MONITOR_MAX)
-        plan = server.submit(
-            "SELECT TOP 3 roomid, SUM(sound) FROM sensors "
-            "GROUP BY roomid EPOCH DURATION 1 min")
+        with legacy("submit"):
+            plan = server.submit(
+                "SELECT TOP 3 roomid, SUM(sound) FROM sensors "
+                "GROUP BY roomid EPOCH DURATION 1 min")
         assert plan.algorithm is Algorithm.MINT
         assert len(server.sessions) == 1
-        assert server.results == []
-        server.run(2)
+        with legacy("results"):
+            assert server.results == []
+        with legacy("run"):
+            server.run(2)
         assert len(server.results) == 2
 
     def test_failed_resubmit_keeps_previous_query_runnable(self):
         """A rejected submit must not tear down the running query —
         single-engine behaviour."""
         _, server = grid_server()
-        server.submit(MONITOR)
-        server.run(2)
+        with legacy("submit"):
+            server.submit(MONITOR)
+        with legacy("run"):
+            server.run(2)
         with pytest.raises(QueryError):
             server.submit("SELECT AVG(humidity) FROM sensors")
-        assert server.current_session.active
+        with legacy("current_session"):
+            assert server.current_session.active
         results = server.run(1)
-        assert len(server.results) == 3 and results[0].epoch == 2
+        with legacy("results"):
+            assert len(server.results) == 3 and results[0].epoch == 2
 
     def test_submit_session_does_not_reassign_legacy_accessors(self):
         """Regression: submit_session() used to silently retarget
         ``results``/``plan``/``engine``, changing their meaning
         mid-workload. Legacy accessors track only legacy submit()."""
         _, server = grid_server()
-        server.submit(MONITOR)
-        server.run(2)
-        legacy_plan = server.plan
-        sid = server.submit_session(MONITOR_MAX)
+        with legacy("submit"):
+            server.submit(MONITOR)
+        with legacy("run"):
+            server.run(2)
+        with legacy("plan"):
+            legacy_plan = server.plan
+        with legacy("submit_session"):
+            sid = server.submit_session(MONITOR_MAX)
         assert server.plan is legacy_plan
-        assert server.current_session is not server.session(sid)
-        assert len(server.results) == 2
+        with legacy("session"), legacy("current_session"):
+            assert server.current_session is not server.session(sid)
+        with legacy("results"):
+            assert len(server.results) == 2
         # And with no legacy submit at all, the accessors stay empty.
         _, fresh_server = grid_server()
-        fresh_server.submit_session(MONITOR)
-        assert fresh_server.results == []
-        assert fresh_server.plan is None
-        assert fresh_server.engine is None
-        assert fresh_server.system_panel is None
+        with legacy("submit_session"):
+            fresh_server.submit_session(MONITOR)
+        with legacy("results"):
+            assert fresh_server.results == []
+        with legacy("plan"):
+            assert fresh_server.plan is None
+        with legacy("engine"):
+            assert fresh_server.engine is None
+        with legacy("system_panel"):
+            assert fresh_server.system_panel is None
 
     def test_unknown_session_raises_precise_error(self):
         _, server = grid_server()
-        with pytest.raises(UnknownSessionError, match="unknown session"):
+        with legacy("session"), \
+                pytest.raises(UnknownSessionError, match="unknown session"):
             server.session(99)
         # Legacy handlers that caught PlanError keep working.
         with pytest.raises(PlanError):
@@ -220,9 +263,12 @@ class TestLegacyFlowSemantics:
         tree = scenario.network.tree
         victim = next(n for n in tree.sensor_ids if tree.is_leaf(n))
         schedule = ChurnSchedule([ChurnEvent(2, ChurnKind.DEATH, victim)])
-        sid = server.submit_session(MONITOR)
-        server.run_all(4, churn=schedule, board_for=scenario.board_for)
-        session = server.session(sid)
+        with legacy("submit_session"):
+            sid = server.submit_session(MONITOR)
+        with legacy("run_all"):
+            server.run_all(4, churn=schedule, board_for=scenario.board_for)
+        with legacy("session"):
+            session = server.session(sid)
         assert len(session.results) == 4
         assert session.recovery.failures == 1
         assert not scenario.network.nodes[victim].alive
@@ -278,17 +324,24 @@ class TestDeprecationWarnings:
         consumer of the legacy API gets its own nudge."""
         for _ in range(2):
             _, server = grid_server()
-            with pytest.warns(DeprecationWarning,
-                              match="KSpotServer.submit is deprecated"):
+            with legacy("submit"):
                 server.submit(MONITOR)
+
+    def test_unwrapped_legacy_use_is_promoted_to_an_error(self):
+        """The pytest.ini promotion really fires: outside pytest.warns
+        a shim warning escalates straight to DeprecationWarning-as-
+        error (this is the regression that used to leak 47 warnings
+        per run)."""
+        _, server = grid_server()
+        with pytest.raises(DeprecationWarning,
+                           match="KSpotServer.submit is deprecated"):
+            server.submit(MONITOR)
 
     def test_run_historic_warns_and_answers(self):
         _, server = grid_server()
-        with pytest.warns(DeprecationWarning,
-                          match="KSpotServer.submit"):
+        with legacy("submit"):
             server.submit(HISTORIC)
-        with pytest.warns(DeprecationWarning,
-                          match="KSpotServer.run_historic"):
+        with legacy("run_historic"):
             result = server.run_historic()
         assert len(result.items) == 3
 
@@ -298,11 +351,13 @@ class TestDeprecationWarnings:
         from repro.api import Deployment, EpochDriver
 
         _, server = grid_server(seed=31)
-        server.submit(MONITOR)
-        legacy = server.run(4)
+        with legacy("submit"):
+            server.submit(MONITOR)
+        with legacy("run"):
+            legacy_results = server.run(4)
 
         scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=31)
         deployment = Deployment.from_scenario(scenario)
         handle = deployment.submit(MONITOR)
         EpochDriver(deployment).run(4)
-        assert tuple(legacy) == handle.results
+        assert tuple(legacy_results) == handle.results
