@@ -1,0 +1,117 @@
+"""E14 — multicore scale-out: the process-sharded executor vs serial.
+
+The simulator is single-threaded by design, so ``repro.parallel``
+scales *horizontally*: independent deployments (here, an e11-workload
+sweep over fleet size × churn preset) shard across worker processes.
+This benchmark prices that claim and pins its correctness contract:
+
+* **byte-identical merges** — the merged sweep report (answers, stats,
+  savings, recovery; wall clocks excluded) is a pure function of the
+  cell grid: serial, 2-worker and 4-worker runs must produce the same
+  canonical JSON byte for byte (deterministic per-cell seed derivation
+  makes shard results independent of scheduling);
+* **near-linear aggregate throughput** — with W workers on >= W CPUs,
+  aggregate epochs/sec approaches W× the serial rate. The gate demands
+  >= 3x at 4 workers when 4+ CPUs are visible, scaling down honestly
+  on smaller hosts (a 1-CPU container can only prove overhead stays
+  bounded).
+"""
+
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
+import json
+import os
+import time
+
+from repro.parallel import (
+    canonical,
+    merge_sweep,
+    run_sharded,
+    run_sweep_cell,
+    shard_errors,
+    sweep_grid,
+)
+
+from conftest import once
+
+#: The sweep: 16 independent e11-workload deployments (the horizontal
+#: unit of work) — enough cells for the pool's dynamic scheduling to
+#: balance unequal cell costs, each long enough to amortize worker
+#: start-up, the whole grid short enough for CI.
+SIZES = (25, 36, 49, 64)
+CHURNS = ("none", "calm")
+MIXES = ("e11", "mint")
+EPOCHS = 60
+SEED = 11
+
+WORKER_COUNTS = (2, 4)
+
+
+def run_scaleout():
+    cells = sweep_grid(SIZES, CHURNS, MIXES, epochs=EPOCHS, seed=SEED)
+    keys = [cell.key for cell in cells]
+    epochs_total = sum(cell.epochs for cell in cells)
+
+    def measured(jobs):
+        started = time.perf_counter()
+        results = run_sharded(run_sweep_cell, cells, jobs=jobs, keys=keys)
+        wall = time.perf_counter() - started
+        return results, wall
+
+    serial_results, serial_wall = measured(1)
+    serial_canonical = json.dumps(canonical(merge_sweep(serial_results)),
+                                  sort_keys=True)
+    rows = [[1, f"{serial_wall:.2f}", f"{epochs_total / serial_wall:.1f}",
+             "1.00x", "yes"]]
+    outcomes = []
+    for jobs in WORKER_COUNTS:
+        results, wall = measured(jobs)
+        merged_canonical = json.dumps(canonical(merge_sweep(results)),
+                                      sort_keys=True)
+        identical = merged_canonical == serial_canonical
+        scaling = serial_wall / wall
+        rows.append([jobs, f"{wall:.2f}",
+                     f"{epochs_total / wall:.1f}", f"{scaling:.2f}x",
+                     "yes" if identical else "NO"])
+        outcomes.append((jobs, scaling, identical,
+                         shard_errors(results)))
+    return rows, outcomes, serial_wall, epochs_total
+
+
+def test_e14_scaleout(benchmark, table):
+    rows, outcomes, serial_wall, epochs_total = once(benchmark,
+                                                     run_scaleout)
+    cpus = os.cpu_count() or 1
+    table(f"E14: process-sharded sweep scale-out "
+          f"({len(SIZES) * len(CHURNS) * len(MIXES)} cells x "
+          f"{EPOCHS} epochs, e11 workload, {cpus} CPUs visible)",
+          ["workers", "wall s", "agg epochs/s", "scale-out",
+           "merge identical"],
+          rows)
+
+    for jobs, scaling, identical, errors in outcomes:
+        # The executor's correctness contract: no silent worker
+        # crashes, and the merged report is byte-identical to serial.
+        assert errors == []
+        assert identical, f"{jobs}-worker merge diverged from serial"
+        usable = min(jobs, cpus)
+        if usable >= 4:
+            # The acceptance bar: >= 3x aggregate throughput at 4
+            # workers on a 4-CPU host.
+            assert scaling >= 3.0, (
+                f"{jobs} workers on {cpus} CPUs scaled only "
+                f"{scaling:.2f}x (need >= 3x)")
+        elif usable > 1:
+            assert scaling >= 0.6 * usable, (
+                f"{jobs} workers on {cpus} CPUs scaled only "
+                f"{scaling:.2f}x (need >= {0.6 * usable:.1f}x)")
+        else:
+            # Single CPU: parallelism cannot help; prove the pool
+            # overhead stays bounded instead.
+            assert scaling >= 0.5, (
+                f"pool overhead ate {1 - scaling:.0%} of serial "
+                f"throughput on a single CPU")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

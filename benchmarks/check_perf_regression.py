@@ -5,7 +5,7 @@ Usage::
 
     python benchmarks/check_perf_regression.py BENCH_perf.json \
         [--trajectory benchmarks/perf_trajectory.json] \
-        [--at 100] [--tolerance 0.20]
+        [--at 100,400] [--tolerance 0.20]
 
 The committed trajectory stores, per fleet size, the hot path's
 epochs/sec and its speedup over the in-tree reference path, as measured
@@ -72,13 +72,56 @@ def write_trajectory(report: dict, path: Path) -> None:
     print(f"wrote {path}")
 
 
+def gate_at(report: dict, trajectory: dict, n_nodes: int,
+            tolerance: float) -> bool:
+    """Gate one fleet size; returns True when it passes.
+
+    A size absent from the committed trajectory is skipped with a note
+    (the trajectory predates it — refresh with ``--write``); a gated
+    size absent from the fresh *report* is a hard error, so the gate
+    can never silently stop gating.
+    """
+    committed = None
+    for sample in trajectory.get("results", ()):
+        if sample.get("n_nodes") == n_nodes:
+            committed = sample
+            break
+    if committed is None:
+        print(f"N={n_nodes}: not in the committed trajectory — "
+              f"skipped (refresh with --write to start gating it)")
+        return True
+    fresh = sample_at(report, n_nodes)
+
+    fresh_speedup = fresh.get("speedup_vs_reference")
+    committed_speedup = committed.get("speedup_vs_reference")
+    print(f"N={n_nodes}: fresh {fresh['epochs_per_sec']:.2f} epochs/s "
+          f"(committed {committed['epochs_per_sec']:.2f} on its host)")
+    if fresh_speedup is None:
+        sys.exit("error: report lacks speedup_vs_reference — run "
+                 "`repro perf --compare-reference`")
+    if committed_speedup is None:
+        sys.exit("error: trajectory lacks speedup_vs_reference — refresh "
+                 "it with --write from a --compare-reference run")
+
+    floor = (1.0 - tolerance) * committed_speedup
+    print(f"N={n_nodes}: speedup vs reference {fresh_speedup:.2f}x "
+          f"(committed {committed_speedup:.2f}x, floor {floor:.2f}x)")
+    if fresh_speedup < floor:
+        print(f"FAIL: hot path regressed more than "
+              f"{tolerance:.0%} against the committed trajectory "
+              f"at N={n_nodes}")
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="fresh BENCH_perf.json to check")
     parser.add_argument("--trajectory", type=Path,
                         default=DEFAULT_TRAJECTORY)
-    parser.add_argument("--at", type=int, default=100,
-                        help="fleet size the gate inspects")
+    parser.add_argument("--at", default="100,400",
+                        help="comma-separated fleet sizes the gate "
+                             "inspects")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional speedup regression")
     parser.add_argument("--write", action="store_true",
@@ -92,26 +135,15 @@ def main(argv=None) -> int:
         return 0
 
     trajectory = load(args.trajectory)
-    fresh = sample_at(report, args.at)
-    committed = sample_at(trajectory, args.at)
+    try:
+        sizes = [int(part) for part in str(args.at).split(",")]
+    except ValueError:
+        sys.exit(f"error: --at wants comma-separated integers, "
+                 f"got {args.at!r}")
 
-    fresh_speedup = fresh.get("speedup_vs_reference")
-    committed_speedup = committed.get("speedup_vs_reference")
-    print(f"N={args.at}: fresh {fresh['epochs_per_sec']:.2f} epochs/s "
-          f"(committed {committed['epochs_per_sec']:.2f} on its host)")
-    if fresh_speedup is None:
-        sys.exit("error: report lacks speedup_vs_reference — run "
-                 "`repro perf --compare-reference`")
-    if committed_speedup is None:
-        sys.exit("error: trajectory lacks speedup_vs_reference — refresh "
-                 "it with --write from a --compare-reference run")
-
-    floor = (1.0 - args.tolerance) * committed_speedup
-    print(f"N={args.at}: speedup vs reference {fresh_speedup:.2f}x "
-          f"(committed {committed_speedup:.2f}x, floor {floor:.2f}x)")
-    if fresh_speedup < floor:
-        print(f"FAIL: hot path regressed more than "
-              f"{args.tolerance:.0%} against the committed trajectory")
+    passed = all([gate_at(report, trajectory, n, args.tolerance)
+                  for n in sizes])
+    if not passed:
         return 1
     print("OK: hot path within the committed trajectory")
     return 0

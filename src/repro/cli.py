@@ -7,7 +7,13 @@ Commands:
 * ``run`` — execute a query over a scenario configuration file;
 * ``workload`` — run a file of mixed queries (MINT / TJA / TPUT /
   FILA classes) *concurrently* over one deployment on the shared
-  epoch clock, with per-session and aggregate savings;
+  epoch clock, with per-session and aggregate savings; several files
+  are independent deployments, sharded across ``--jobs`` worker
+  processes with fleet-wide savings merged across them;
+* ``sweep`` — a parameter grid (fleet size × churn preset × query
+  mix) of independent deployments, sharded across ``--jobs`` workers
+  with deterministic per-cell seed derivation (results are identical
+  for any worker count);
 * ``scenario-init`` — write a template scenario file to edit;
 * ``savings`` — a quick MINT-vs-TAG savings table for a grid
   deployment (the System Panel, in one shot).
@@ -29,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from typing import Sequence
 
 from . import __version__
@@ -67,12 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     workload = sub.add_parser(
         "workload",
-        help="run a file of queries concurrently over one deployment")
+        help="run one or more query files, each concurrently over its "
+             "own deployment")
     workload.add_argument(
-        "file",
-        help="query file: one query per line; '#' comments and blank "
-             "lines ignored; an 'algorithm:' prefix (e.g. 'fila: "
-             "SELECT ...') overrides the routing")
+        "files", nargs="+", metavar="file",
+        help="query file(s): one query per line; '#' comments and "
+             "blank lines ignored; an 'algorithm:' prefix (e.g. "
+             "'fila: SELECT ...') overrides the routing; several "
+             "files run as independent deployments across --jobs "
+             "worker processes")
     workload.add_argument("--scenario", default=None,
                           help="scenario JSON file (default: a grid "
                                "deployment)")
@@ -87,6 +97,31 @@ def _build_parser() -> argparse.ArgumentParser:
                                "report per-session + aggregate savings")
     _add_format_argument(workload)
     _add_churn_arguments(workload)
+    _add_jobs_argument(workload)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter grid (fleet size x churn preset x query "
+             "mix) of independent deployments across worker processes")
+    sweep.add_argument("--sizes", default="25,100",
+                       help="comma-separated fleet sizes")
+    sweep.add_argument("--churn", default="none",
+                       help="comma-separated churn presets "
+                            "('none', 'calm', 'lively', 'harsh')")
+    sweep.add_argument("--mixes", default="e11",
+                       help="comma-separated query mixes "
+                            "(see repro.parallel.QUERY_MIXES)")
+    sweep.add_argument("--epochs", type=int, default=10)
+    sweep.add_argument("--seed", type=int, default=11,
+                       help="root seed; every cell derives its own "
+                            "streams from it and the cell identity")
+    sweep.add_argument("--baseline", action="store_true",
+                       help="shadow each top-k session with TAG and "
+                            "report merged fleet-wide savings")
+    sweep.add_argument("--output", default=None,
+                       help="also write the merged JSON report here")
+    _add_format_argument(sweep)
+    _add_jobs_argument(sweep)
 
     init = sub.add_parser("scenario-init",
                           help="write a template scenario file")
@@ -111,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--output", default="BENCH_perf.json",
                       help="where to write the JSON report")
     _add_churn_arguments(perf)
+    _add_jobs_argument(perf)
 
     savings = sub.add_parser("savings",
                              help="MINT vs TAG savings on a grid")
@@ -130,6 +166,14 @@ def _add_format_argument(parser) -> None:
                              "machine-readable JSON")
 
 
+def _add_jobs_argument(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard independent "
+                             "deployments across (default 1: in-"
+                             "process; results are identical for any "
+                             "value)")
+
+
 def _add_churn_arguments(parser) -> None:
     from .scenarios import CHURN_PRESETS
 
@@ -142,6 +186,22 @@ def _add_churn_arguments(parser) -> None:
                         help="seed for the churn process")
 
 
+def _churn_for(churn: str | None, churn_seed: int, network, attribute,
+               field, group_of, epochs: int) -> ChurnIntervention | None:
+    """A :class:`ChurnIntervention` from explicit parameters, or None
+    (shared by the inline commands and the picklable shard workers)."""
+    if not churn:
+        return None
+    from .scenarios import preset_churn
+    from .sensing.board import SensorBoard
+
+    schedule = preset_churn(
+        network.topology, epochs, preset=churn, seed=churn_seed,
+        group_for=(group_of or {}).get, field=field)
+    return ChurnIntervention(
+        schedule, board_for=lambda _nid: SensorBoard({attribute: field}))
+
+
 def _make_churn(args, network, attribute, field, group_of,
                 epochs=None) -> ChurnIntervention | None:
     """A :class:`ChurnIntervention` for ``--churn``, or None.
@@ -149,17 +209,10 @@ def _make_churn(args, network, attribute, field, group_of,
     ``epochs`` is the horizon the run will actually drive (historic
     queries run their window length, not ``--epochs``).
     """
-    if not getattr(args, "churn", None):
-        return None
-    from .scenarios import preset_churn
-    from .sensing.board import SensorBoard
-
-    schedule = preset_churn(
-        network.topology, epochs if epochs is not None else args.epochs,
-        preset=args.churn, seed=args.churn_seed,
-        group_for=(group_of or {}).get, field=field)
-    return ChurnIntervention(
-        schedule, board_for=lambda _nid: SensorBoard({attribute: field}))
+    return _churn_for(getattr(args, "churn", None),
+                      getattr(args, "churn_seed", 0),
+                      network, attribute, field, group_of,
+                      epochs if epochs is not None else args.epochs)
 
 
 # ----------------------------------------------------------------------
@@ -392,7 +445,165 @@ def _workload_row(handle: SessionHandle):
             handle.stats.messages, handle.stats.payload_bytes]
 
 
+@dataclass(frozen=True)
+class _WorkloadSpec:
+    """One workload file as an independent, picklable deployment spec
+    (the ``workload`` shard worker's input)."""
+
+    file: str
+    scenario: str | None
+    side: int
+    rooms: int
+    seed: int
+    epochs: int
+    baseline: bool
+    churn: str | None
+    churn_seed: int
+
+
+def _workload_shard(spec: _WorkloadSpec) -> dict:
+    """Run one workload file over its own deployment (shard worker).
+
+    Module-level and spec-driven — the spawn contract — returning the
+    same JSON payload shape the single-file ``--format json`` mode
+    prints, plus the file it came from.
+    """
+    from .gui.stats import SystemPanel
+    from .scenarios import grid_rooms_scenario
+
+    if spec.scenario:
+        config = load_scenario(spec.scenario)
+        network, field = _deploy_from_config(config, spec.seed)
+        group_of = config.cluster_of or None
+        attribute = config.attribute
+
+        def factory():
+            return _deploy_from_config(config, spec.seed)[0]
+    else:
+        scenario = grid_rooms_scenario(side=spec.side,
+                                       rooms_per_axis=spec.rooms,
+                                       seed=spec.seed)
+        network = scenario.network
+        group_of = scenario.group_of
+        field = scenario.field
+        attribute = scenario.attribute
+
+        def factory():
+            return grid_rooms_scenario(side=spec.side,
+                                       rooms_per_axis=spec.rooms,
+                                       seed=spec.seed).network
+    deployment = Deployment(
+        network, group_of=group_of,
+        baseline_factory=factory if spec.baseline else None)
+    rejected = []
+    for algorithm, query in _load_workload(spec.file):
+        try:
+            deployment.submit(query, algorithm=algorithm)
+        except KSpotError as error:
+            rejected.append({"query": query, "error": str(error)})
+    if not deployment.sessions():
+        raise KSpotError(
+            f"every workload query in {spec.file!r} was rejected")
+    churn = _churn_for(spec.churn, spec.churn_seed, network, attribute,
+                       field, group_of, spec.epochs)
+    driver = EpochDriver(deployment,
+                         interventions=[churn] if churn else ())
+    driver.run(spec.epochs)
+    panels = [handle.system_panel for handle in deployment.sessions()
+              if handle.system_panel is not None
+              and handle.system_panel.samples]
+    aggregate = SystemPanel.aggregate(panels) if panels else None
+    return {
+        "file": spec.file,
+        "sessions": [_session_json(handle)
+                     for handle in deployment.sessions()],
+        "rejected": rejected,
+        "deployment": _deployment_json(network),
+        "churn": (_churn_summary(network, deployment)
+                  if churn is not None else None),
+        "aggregate_savings": (aggregate.as_dict()
+                              if aggregate is not None else None),
+    }
+
+
+def _print_workload_shard(payload: dict) -> None:
+    """The compact per-file report of a sharded workload run."""
+    print(f"== {payload['file']} ==")
+    rows = []
+    for session in payload["sessions"]:
+        if session.get("historic_result") is not None:
+            items = session["historic_result"]["items"][:3]
+            epochs_run = "one-shot"
+        else:
+            results = session.get("results") or []
+            items = results[-1]["items"] if results else []
+            epochs_run = len(results)
+        answer = ", ".join(f"{i['key']}={i['score']:.2f}" for i in items)
+        rows.append([session["id"], session["algorithm"], epochs_run,
+                     answer, session["stats"]["messages"],
+                     session["stats"]["payload_bytes"]])
+    print(render_table(
+        ["session", "algorithm", "epochs", "latest answer",
+         "messages", "bytes"], rows))
+    summary = payload["deployment"]
+    print(f"deployment: epoch {summary['epoch']}, "
+          f"{summary['sensor_samples']} sensor samples, "
+          f"{summary['messages']} messages, "
+          f"{summary['payload_bytes']} payload bytes"
+          + (f" ({len(payload['rejected'])} queries rejected)"
+             if payload["rejected"] else ""))
+    if payload["churn"] is not None:
+        _print_churn_summary(payload["churn"])
+    print()
+
+
+def _cmd_workload_sharded(args) -> int:
+    """Several workload files: independent deployments across workers."""
+    from .gui.stats import RecordedPanel, SystemPanel
+    from .parallel import run_sharded, shard_errors
+
+    specs = [
+        _WorkloadSpec(file=path, scenario=args.scenario, side=args.side,
+                      rooms=args.rooms, seed=args.seed,
+                      epochs=args.epochs, baseline=args.baseline,
+                      churn=args.churn, churn_seed=args.churn_seed)
+        for path in args.files
+    ]
+    results = run_sharded(_workload_shard, specs, jobs=args.jobs,
+                          keys=list(args.files))
+    errors = shard_errors(results)
+    payloads = [result.payload for result in results if result.ok]
+    panels = [
+        RecordedPanel.from_dicts([session["savings"]])
+        for payload in payloads
+        for session in payload["sessions"]
+        if session.get("savings")
+    ]
+    aggregate = SystemPanel.aggregate(panels) if panels else None
+    if args.format == "json":
+        print(json.dumps({
+            "shards": payloads,
+            "aggregate_savings": (aggregate.as_dict()
+                                  if aggregate is not None else None),
+            "shard_errors": errors,
+        }, indent=2))
+    else:
+        for payload in payloads:
+            _print_workload_shard(payload)
+        if aggregate is not None:
+            print(f"aggregate savings vs per-query TAG shadows: "
+                  f"{aggregate.message_saving_pct:.1f}% messages, "
+                  f"{aggregate.byte_saving_pct:.1f}% bytes, "
+                  f"{aggregate.energy_saving_pct:.1f}% radio energy")
+    for entry in errors:
+        print(f"shard failed: {entry['key']}\n{entry['error']}",
+              file=sys.stderr)
+    return 2 if errors else 0
+
+
 def _cmd_workload(args) -> int:
+    if len(args.files) > 1:
+        return _cmd_workload_sharded(args)
     from .gui.stats import SystemPanel
     from .scenarios import grid_rooms_scenario
 
@@ -423,7 +634,7 @@ def _cmd_workload(args) -> int:
     deployment = Deployment(
         network, group_of=group_of,
         baseline_factory=factory if args.baseline else None)
-    entries = _load_workload(args.file)
+    entries = _load_workload(args.files[0])
     rejected = []
     for algorithm, query in entries:
         try:
@@ -486,6 +697,65 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .errors import ConfigurationError
+    from .parallel import run_sweep, sweep_grid
+
+    try:
+        sizes = tuple(int(part) for part in args.sizes.split(","))
+    except ValueError:
+        raise ConfigurationError(
+            f"--sizes wants comma-separated integers, got "
+            f"{args.sizes!r}") from None
+    churns = tuple(part.strip() for part in args.churn.split(","))
+    mixes = tuple(part.strip() for part in args.mixes.split(","))
+    cells = sweep_grid(sizes, churns, mixes, epochs=args.epochs,
+                       seed=args.seed, baseline=args.baseline)
+    if args.format != "json":
+        print(f"sweep: {len(cells)} cells "
+              f"(sizes {list(sizes)} x churn {list(churns)} x mixes "
+              f"{list(mixes)}), {args.epochs} epochs, "
+              f"jobs {args.jobs}")
+    merged = run_sweep(cells, jobs=args.jobs)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(merged, indent=2))
+    else:
+        rows = [
+            [cell["cell"]["n_nodes"], cell["cell"]["churn"],
+             cell["cell"]["mix"], len(cell["sessions"]),
+             cell["deployment"]["messages"],
+             cell["deployment"]["payload_bytes"],
+             f"{cell['epochs_per_sec']:.1f}"]
+            for cell in merged["cells"]
+        ]
+        print(render_table(
+            ["N", "churn", "mix", "sessions", "messages", "bytes",
+             "epochs/s"], rows))
+        totals = merged["totals"]
+        print(f"\ntotals: {totals['cells']} cells, "
+              f"{totals['sessions']} sessions, "
+              f"{totals['messages']} messages, "
+              f"{totals['sensor_samples']} sensor samples")
+        aggregate = merged["aggregate_savings"]
+        if aggregate is not None:
+            print(f"aggregate savings vs per-query TAG shadows: "
+                  f"{aggregate['message_saving_pct']:.1f}% messages, "
+                  f"{aggregate['byte_saving_pct']:.1f}% bytes, "
+                  f"{aggregate['energy_saving_pct']:.1f}% radio energy")
+        if args.output:
+            print(f"wrote {args.output}")
+    for entry in merged["shard_errors"]:
+        print(f"shard failed: {entry['key']}\n{entry['error']}",
+              file=sys.stderr)
+    return 2 if merged["shard_errors"] else 0
+
+
 def _cmd_scenario_init(args) -> int:
     template = ScenarioConfig(
         name="my-deployment",
@@ -535,24 +805,37 @@ def _cmd_perf(args) -> int:
 
     # Mirror run_perf's --quick adjustments so the banner states what
     # will actually run (default ladder trimmed, repeats clamped).
+    from .perf import QUICK_SIZES
+
     shown_sizes = list(sizes)
     shown_repeats = args.repeats
     if args.quick:
         if tuple(sizes) == FLEET_SIZES:
-            shown_sizes = [25, 100]
+            shown_sizes = list(QUICK_SIZES)
         shown_repeats = min(shown_repeats, 2)
     print(f"perf: e11 workload, sizes {shown_sizes}, "
           f"best of {shown_repeats}"
           + (f", churn={args.churn}" if args.churn else "")
-          + (", vs reference path" if args.compare_reference else ""))
+          + (", vs reference path" if args.compare_reference else "")
+          + (f", {args.jobs} workers" if args.jobs > 1 else ""))
     report = run_perf(
         sizes=sizes, repeats=args.repeats, seed=args.seed,
         churn=args.churn, churn_seed=args.churn_seed,
         compare_reference=args.compare_reference, quick=args.quick,
-        progress=progress)
+        progress=progress, jobs=args.jobs)
+    if report.aggregate is not None:
+        aggregate = report.aggregate
+        line = (f"aggregate: {aggregate['workers']} workers x "
+                f"N={aggregate['n_nodes']}: "
+                f"{aggregate['epochs_per_sec']:8.2f} epochs/s "
+                f"({aggregate['scaleout']:.2f}x scale-out)")
+        print(line)
     path = report.write(args.output)
     print(f"wrote {path}")
-    return 0
+    for entry in report.shard_errors:
+        print(f"shard failed: {entry['key']}\n{entry['error']}",
+              file=sys.stderr)
+    return 2 if report.shard_errors else 0
 
 
 def _cmd_savings(args) -> int:
@@ -596,6 +879,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": _cmd_demo,
         "run": _cmd_run,
         "workload": _cmd_workload,
+        "sweep": _cmd_sweep,
         "scenario-init": _cmd_scenario_init,
         "savings": _cmd_savings,
         "perf": _cmd_perf,

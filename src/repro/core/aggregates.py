@@ -32,6 +32,20 @@ from typing import NamedTuple
 from ..errors import ValidationError
 
 
+class SortKeys(dict):
+    """group → ``str(group)`` memo for deterministic orderings.
+
+    The engines' converge-cast loops sort views by the stringified
+    group key at every node every epoch; group keys are a small static
+    set, so the hot paths stringify each exactly once (shared by MINT
+    and TAG).
+    """
+
+    def __missing__(self, group):
+        key = self[group] = str(group)
+        return key
+
+
 class Partial(NamedTuple):
     """Mergeable aggregate state.
 

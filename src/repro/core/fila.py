@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from ..errors import ValidationError
+from ..network import hotpath
 from ..network.messages import (
     FilterReportMessage,
     FilterUpdateMessage,
@@ -59,6 +60,10 @@ class Fila:
         #: The global ranking boundary the filters partition at.
         self.boundary = aggregate.lo
         self._setup_done = False
+        #: Hot-path memo of the repartition's iteration order (the
+        #: sorted filter ids); valid only while ``filters`` keeps its
+        #: key set, which post-setup only churn can change.
+        self._install_order: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # Filter management
@@ -92,7 +97,16 @@ class Fila:
         the boundary stays silent on whichever side it was assigned."""
         exact_values = exact_values or {}
         installed = 0
-        for node_id in sorted(self.filters or self.known):
+        if hotpath.enabled() and self.filters:
+            # Post-setup the filter key set only shrinks (churn pops,
+            # which invalidates the memo); the per-epoch sort of every
+            # node id is paid once per topology change instead.
+            order = self._install_order
+            if order is None:
+                order = self._install_order = tuple(sorted(self.filters))
+        else:
+            order = sorted(self.filters or self.known)
+        for node_id in order:
             node = self.network.nodes.get(node_id)
             if node is None or not node.alive:
                 continue
@@ -141,6 +155,41 @@ class Fila:
                                  + ranked[self.k][1]) / 2.0
             self._install_filters(chosen, self.boundary)
         self._setup_done = True
+        self._install_order = None
+
+    def _run_monitor_phase(self, readings: Mapping[int, float]
+                           ) -> dict[int, Bounds]:
+        """The monitoring + interval-derivation pass, fused (hot path).
+
+        Semantically identical to the reference branch in
+        :meth:`run_epoch` — same reports in the same order, same bound
+        per node — with the filter lookup shared between the violation
+        check and the bound, the transport and ledgers resolved once,
+        and the second full pass over ``readings`` eliminated (bound
+        derivation touches no stats, so phase snapshots are unchanged).
+        """
+        network = self.network
+        epoch = network.epoch
+        filters_get = self.filters.get
+        known = self.known
+        unicast_to_sink = network.unicast_to_sink
+        bounds: dict[int, Bounds] = {}
+        with network.stats.phase("monitor"):
+            for node_id, value in readings.items():
+                current = filters_get(node_id)
+                if (current is not None
+                        and current[0] <= value <= current[1]):
+                    bounds[node_id] = Bounds(current[0], current[1])
+                    continue
+                unicast_to_sink(
+                    node_id, FilterReportMessage(
+                        epoch=epoch,
+                        entries=(ViewEntry(node_id, value, 1),)))
+                known[node_id] = value
+                # The violating node's filter is void until reset;
+                # its value is exactly known this epoch.
+                bounds[node_id] = Bounds(value, value)
+        return bounds
 
     def run_epoch(self) -> EpochResult:
         """One monitoring round: violations, certification, probes."""
@@ -153,30 +202,36 @@ class Fila:
         if not self._setup_done:
             self._setup(readings)
         else:
-            with self.network.stats.phase("monitor"):
+            if hotpath.enabled():
+                bounds = self._run_monitor_phase(readings)
+            else:
+                with self.network.stats.phase("monitor"):
+                    for node_id, value in readings.items():
+                        # A node with no installed filter (it joined
+                        # after setup) always reports: silence only
+                        # certifies where a filter exists to stay
+                        # inside.
+                        current = self.filters.get(node_id)
+                        if (current is not None
+                                and current[0] <= value <= current[1]):
+                            continue
+                        self.network.unicast_to_sink(
+                            node_id, FilterReportMessage(
+                                epoch=self.network.epoch,
+                                entries=(ViewEntry(node_id, value, 1),)))
+                        self.known[node_id] = value
+                        # The violating node's filter is void until
+                        # reset; treat its value as exactly known this
+                        # epoch.
+
+                bounds = {}
                 for node_id, value in readings.items():
-                    # A node with no installed filter (it joined after
-                    # setup) always reports: silence only certifies
-                    # where a filter exists to stay inside.
                     current = self.filters.get(node_id)
                     if (current is not None
                             and current[0] <= value <= current[1]):
-                        continue
-                    self.network.unicast_to_sink(
-                        node_id, FilterReportMessage(
-                            epoch=self.network.epoch,
-                            entries=(ViewEntry(node_id, value, 1),)))
-                    self.known[node_id] = value
-                    # The violating node's filter is void until reset;
-                    # treat its value as exactly known this epoch.
-
-            bounds: dict[int, Bounds] = {}
-            for node_id, value in readings.items():
-                current = self.filters.get(node_id)
-                if current is not None and current[0] <= value <= current[1]:
-                    bounds[node_id] = Bounds(current[0], current[1])
-                else:
-                    bounds[node_id] = Bounds(value, value)
+                        bounds[node_id] = Bounds(current[0], current[1])
+                    else:
+                        bounds[node_id] = Bounds(value, value)
             # FILA certifies set membership: silent nodes keep their
             # filter interval as the score estimate.
             outcome = certify_top_k(bounds, self.k,
@@ -219,17 +274,17 @@ class Fila:
                                       exact_values=fresh)
 
         # Build the answer from current knowledge.
+        known_get = self.known.get
+        filters_get = self.filters.get
+        unknown = Bounds(self.aggregate.lo, self.aggregate.hi)
         bounds = {}
         for node_id, value in readings.items():
-            if self.known.get(node_id) == value:
+            if known_get(node_id) == value:
                 bounds[node_id] = Bounds(value, value)
             else:
-                current = self.filters.get(node_id)
-                if current is None:
-                    bounds[node_id] = Bounds(self.aggregate.lo,
-                                             self.aggregate.hi)
-                else:
-                    bounds[node_id] = Bounds(current[0], current[1])
+                current = filters_get(node_id)
+                bounds[node_id] = (unknown if current is None
+                                   else Bounds(current[0], current[1]))
         outcome = certify_top_k(bounds, self.k, require_exact_scores=False)
         result = EpochResult(
             epoch=self.network.epoch,
@@ -251,6 +306,7 @@ class Fila:
         if event.failed:
             if self.filters.pop(event.node_id, None) is not None:
                 invalidated += 1
+                self._install_order = None
             self.known.pop(event.node_id, None)
         return invalidated
 

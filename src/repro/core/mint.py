@@ -43,26 +43,13 @@ from ..network.messages import (
     ViewUpdateMessage,
 )
 from ..network.simulator import Network
-from .aggregates import Aggregate, Bounds, Partial
+from .aggregates import Aggregate, Bounds, Partial, SortKeys
 from .certify import certify_top_k
 from .descriptors import should_reship_gamma, subtree_gamma
 from .results import EpochResult, rank_key
 from .views import MintNodeState, max_gamma
 
 GroupKey = Hashable
-
-
-class _SortKeys(dict):
-    """group → ``str(group)`` memo for deterministic orderings.
-
-    The update and prune phases sort by the stringified group key every
-    epoch at every node; group keys are a small static set, so the hot
-    path stringifies each exactly once.
-    """
-
-    def __missing__(self, group):
-        key = self[group] = str(group)
-        return key
 
 
 @dataclass
@@ -130,7 +117,7 @@ class Mint:
         self.probes_run = 0
         self._totals_stale = False
         #: Hot-path memo of per-group string sort keys.
-        self._gstr = _SortKeys()
+        self._gstr = SortKeys()
         #: Hot-path memo of lifted reading partials (value → Partial;
         #: readings are ADC-quantized, so the domain is small).
         self._lift_memo: dict[float, Partial] = {}

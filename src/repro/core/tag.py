@@ -6,6 +6,14 @@ count)`` tuple *per group it knows about* to its parent each epoch, and
 "one could then easily implement a new top-k operator at the sink …
 in a centralized manner". Exact by construction; the cost KSpot's
 pruning is measured against.
+
+Like MINT, the per-epoch converge-cast runs on a fused hot path (see
+:mod:`repro.network.hotpath`): acquisition shares lifted partials via
+a memo, group sort keys are stringified once, leaves skip the merge
+machinery, and messages ship straight over the cached tree edge. The
+reference implementation remains in :meth:`Tag.run_epoch`'s reference
+branch and the equivalence property test holds both paths to identical
+messages, stats and answers.
 """
 
 from __future__ import annotations
@@ -13,9 +21,10 @@ from __future__ import annotations
 from typing import Hashable, Mapping
 
 from ..errors import ValidationError
+from ..network import hotpath
 from ..network.messages import QueryMessage, ViewEntry, ViewUpdateMessage
 from ..network.simulator import Network
-from .aggregates import Aggregate, Partial
+from .aggregates import Aggregate, Partial, SortKeys
 from .results import EpochResult, RankedItem, rank_key
 
 GroupKey = Hashable
@@ -43,22 +52,128 @@ class Tag:
         #: ``where_fn(node_id, group, value) -> bool``.
         self.where_fn = where_fn
         self._disseminated = False
+        #: Hot-path memo of per-group string sort keys.
+        self._gstr = SortKeys()
+        #: Hot-path memo of lifted reading partials (see Mint._acquire).
+        self._lift_memo: dict[float, Partial] = {}
+        #: Hot-path memo of the participant tuple (see Mint._participants).
+        self._participants_cache: tuple | None = None
+
+    def _participants(self) -> tuple[int, ...]:
+        alive = self.network.alive_sensor_ids()
+        if hotpath.enabled():
+            # Keyed like Mint's: identity of the (cached) alive tuple
+            # and the membership dict the engine rebinds on adoption.
+            group_of = self.group_of
+            cache = self._participants_cache
+            if (cache is not None and cache[0] is alive
+                    and cache[1] is group_of):
+                return cache[2]
+            result = tuple(n for n in alive if n in group_of)
+            self._participants_cache = (alive, group_of, result)
+            return result
+        return tuple(n for n in alive if n in self.group_of)
 
     def _acquire(self) -> dict[int, Partial]:
         contributions: dict[int, Partial] = {}
-        for node_id in self.network.alive_sensor_ids():
-            if node_id not in self.group_of:
-                continue
-            node = self.network.node(node_id)
-            value = node.read(self.attribute, self.network.epoch)
+        nodes = self.network.nodes
+        epoch = self.network.epoch
+        attribute = self.attribute
+        from_value = self.aggregate.from_value
+        if (hotpath.enabled() and self.window_epochs is None
+                and self.where_fn is None):
+            # Readings are ADC-quantized: the same few hundred values
+            # recur, and lifted partials are immutable and shareable.
+            memo = self._lift_memo
+            if len(memo) > 4096:
+                memo.clear()
+            for node_id in self._participants():
+                value = nodes[node_id].read(attribute, epoch)
+                partial = memo.get(value)
+                if partial is None:
+                    partial = memo[value] = from_value(value)
+                contributions[node_id] = partial
+            return contributions
+        for node_id in self._participants():
+            node = nodes[node_id]
+            value = node.read(attribute, epoch)
             if self.window_epochs is not None:
-                value = node.window_for(self.attribute).aggregate(
+                value = node.window_for(attribute).aggregate(
                     self.aggregate.func.lower(), last_n=self.window_epochs)
             if self.where_fn is not None and not self.where_fn(
                     node_id, self.group_of[node_id], value):
                 continue
-            contributions[node_id] = self.aggregate.from_value(value)
+            contributions[node_id] = from_value(value)
         return contributions
+
+    def _run_aggregation_phase(
+            self, contributions: dict[int, Partial]
+    ) -> dict[GroupKey, Partial]:
+        """The converge-cast, fused into one hot-path pass.
+
+        Semantically identical to the reference branch in
+        :meth:`run_epoch` — same views, same wire order, same messages
+        — with the per-node containers, sort-key stringification and
+        transport guards lifted out of the loop (the same fusion MINT's
+        update phase applies; the equivalence property test covers it).
+        """
+        network = self.network
+        epoch = network.epoch
+        merge = self.aggregate.merge
+        gstr = self._gstr
+        group_of = self.group_of
+        contributions_get = contributions.get
+        children_of = network.tree.children
+        parents = network.tree._parents
+        ship_unicast = network._ship_unicast
+        sink_id = network.sink_id
+        wire_key = lambda item: gstr[item[0]]  # noqa: E731  entry order
+        partial_views: dict[int, dict[GroupKey, Partial]] = {}
+        sink_view: dict[GroupKey, Partial] = {}
+        with network.stats.phase("aggregation"):
+            for node_id in network.converge_cast_order():
+                own = contributions_get(node_id)
+                children = children_of(node_id)
+                # -- leaf fast path: the view is the own contribution --
+                if not children:
+                    if own is None:
+                        view: dict[GroupKey, Partial] = {}
+                        entries: tuple = ()
+                    else:
+                        group = group_of[node_id]
+                        view = {group: own}
+                        entries = (ViewEntry(group, own[0], own[1]),)
+                else:
+                    view = {}
+                    if own is not None:
+                        view[group_of[node_id]] = own
+                    view_get = view.get
+                    for child in children:
+                        child_view = partial_views.get(child)
+                        if not child_view:
+                            continue
+                        for group, partial in child_view.items():
+                            existing = view_get(group)
+                            view[group] = (partial if existing is None
+                                           else merge(existing, partial))
+                    items = sorted(view.items(), key=wire_key) \
+                        if len(view) > 1 else view.items()
+                    entries = tuple([ViewEntry(group, partial[0], partial[1])
+                                     for group, partial in items])
+                message = ViewUpdateMessage(epoch=epoch, entries=entries)
+                # Every node in the converge-cast order is alive and
+                # non-root, so the send_up guards are vacuous here.
+                parent = parents[node_id]
+                ship_unicast(node_id, parent, message)
+                if parent == sink_id:
+                    sink_get = sink_view.get
+                    for group, partial in view.items():
+                        existing = sink_get(group)
+                        sink_view[group] = (partial if existing is None
+                                            else merge(existing, partial))
+                else:
+                    partial_views[node_id] = view
+        return sink_view
 
     def run_epoch(self) -> EpochResult:
         """One full aggregation round; returns the exact top-k."""
@@ -67,37 +182,41 @@ class Tag:
                 self.network.flood_down(lambda _: QueryMessage(query_id=1))
             self._disseminated = True
         contributions = self._acquire()
-        partial_views: dict[int, dict[GroupKey, Partial]] = {}
-        sink_view: dict[GroupKey, Partial] = {}
-        with self.network.stats.phase("aggregation"):
-            for node_id in self.network.converge_cast_order():
-                view: dict[GroupKey, Partial] = {}
-                own = contributions.get(node_id)
-                if own is not None:
-                    view[self.group_of[node_id]] = own
-                for child in self.network.tree.children(node_id):
-                    for group, partial in partial_views.get(child, {}).items():
-                        existing = view.get(group)
-                        view[group] = (partial if existing is None
-                                       else self.aggregate.merge(existing,
-                                                                 partial))
-                message = ViewUpdateMessage(
-                    epoch=self.network.epoch,
-                    entries=tuple(
-                        ViewEntry(group, partial.value, partial.count)
-                        for group, partial in sorted(view.items(),
-                                                     key=lambda i: str(i[0]))
-                    ),
-                )
-                parent = self.network.send_up(node_id, message)
-                if parent == self.network.sink_id:
-                    for group, partial in view.items():
-                        existing = sink_view.get(group)
-                        sink_view[group] = (
-                            partial if existing is None
-                            else self.aggregate.merge(existing, partial))
-                else:
-                    partial_views[node_id] = view
+        if hotpath.enabled():
+            sink_view = self._run_aggregation_phase(contributions)
+        else:
+            partial_views: dict[int, dict[GroupKey, Partial]] = {}
+            sink_view = {}
+            with self.network.stats.phase("aggregation"):
+                for node_id in self.network.converge_cast_order():
+                    view: dict[GroupKey, Partial] = {}
+                    own = contributions.get(node_id)
+                    if own is not None:
+                        view[self.group_of[node_id]] = own
+                    for child in self.network.tree.children(node_id):
+                        for group, partial in partial_views.get(child,
+                                                                {}).items():
+                            existing = view.get(group)
+                            view[group] = (partial if existing is None
+                                           else self.aggregate.merge(existing,
+                                                                     partial))
+                    message = ViewUpdateMessage(
+                        epoch=self.network.epoch,
+                        entries=tuple(
+                            ViewEntry(group, partial.value, partial.count)
+                            for group, partial in sorted(
+                                view.items(), key=lambda i: str(i[0]))
+                        ),
+                    )
+                    parent = self.network.send_up(node_id, message)
+                    if parent == self.network.sink_id:
+                        for group, partial in view.items():
+                            existing = sink_view.get(group)
+                            sink_view[group] = (
+                                partial if existing is None
+                                else self.aggregate.merge(existing, partial))
+                    else:
+                        partial_views[node_id] = view
 
         scored = sorted(
             ((group, self.aggregate.finalize(partial))

@@ -132,6 +132,42 @@ class RecoveryLog:
         }
 
 
+class RecordedPanel:
+    """A panel-shaped view over already-recorded savings samples.
+
+    Live :class:`SystemPanel` instances observe two stat ledgers and
+    cannot leave their process; shard workers therefore serialize the
+    *samples* (plain frozen dataclasses) into their result envelope,
+    and the merging side rebuilds this read-only stand-in — exposing
+    the same ``samples`` / ``cumulative`` surface — so
+    :meth:`SystemPanel.aggregate` can fold fleet-wide savings across
+    process boundaries exactly as it does across live sessions.
+    """
+
+    def __init__(self, samples: Iterable[SavingsSample]):
+        self.samples: list[SavingsSample] = list(samples)
+
+    @classmethod
+    def from_dicts(cls, dicts: "Iterable[dict]") -> "RecordedPanel":
+        """Rebuild from :meth:`SavingsSample.as_dict` payloads (the
+        derived ``*_pct`` keys are recomputed, not trusted)."""
+        fields_wanted = ("epoch", "messages", "baseline_messages",
+                        "payload_bytes", "baseline_payload_bytes",
+                        "radio_joules", "baseline_radio_joules")
+        return cls(SavingsSample(**{name: entry[name]
+                                    for name in fields_wanted})
+                   for entry in dicts)
+
+    @property
+    def cumulative(self) -> SavingsSample:
+        """Totals over the recorded series (mirrors
+        :attr:`SystemPanel.cumulative`)."""
+        if not self.samples:
+            raise ValidationError("no epochs sampled yet")
+        return SystemPanel._summed(
+            self.samples, epoch=max(s.epoch for s in self.samples))
+
+
 class SystemPanel:
     """Tracks two stat ledgers and derives the savings series.
 

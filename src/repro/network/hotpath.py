@@ -2,9 +2,12 @@
 
 The simulator's epoch loop carries several caches that exist purely for
 speed — the memoized :func:`~repro.network.packets.fragment` cost
-model, per-tree traversal-order caches, per-epoch traffic batching —
-all of which are *semantically invisible*: with the caches on or off,
-every message, byte, joule and per-phase snapshot is identical.
+model, per-tree traversal-order caches, per-epoch traffic batching,
+and the engines' fused per-epoch passes (MINT's prune+update
+converge-cast, TAG's aggregation converge-cast, FILA's monitor+bounds
+pass and repartition-order memo) — all of which are *semantically
+invisible*: with the caches on or off, every message, byte, joule and
+per-phase snapshot is identical.
 
 This module owns the single switch that selects between the two modes:
 

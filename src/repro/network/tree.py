@@ -72,9 +72,10 @@ class RoutingTree:
         }
         self._depths = self._compute_depths()
         # Traversal orders are pure functions of the frozen structure;
-        # memoized lazily (see post_order / pre_order).
+        # memoized lazily (see post_order / pre_order / path_to_root).
         self._post_order: tuple[int, ...] | None = None
         self._pre_order: tuple[int, ...] | None = None
+        self._path_memo: dict[int, tuple[int, ...]] = {}
 
     @classmethod
     def from_topology(cls, topology: Topology) -> "RoutingTree":
@@ -211,11 +212,20 @@ class RoutingTree:
         return len(self.subtree(node_id))
 
     def path_to_root(self, node_id: int) -> tuple[int, ...]:
-        """Nodes from ``node_id`` up to and including the root."""
+        """Nodes from ``node_id`` up to and including the root.
+
+        Memoized per tree (flat protocols relay every report along
+        this path, so the walk is on the per-message hot path); the
+        tree never mutates, so ancestor paths can be shared suffixes.
+        """
+        cached = self._path_memo.get(node_id)
+        if cached is not None:
+            return cached
         path = [node_id]
         while path[-1] != self._root:
             path.append(self.parent(path[-1]))
-        return tuple(path)
+        result = self._path_memo[node_id] = tuple(path)
+        return result
 
     def attach(self, node_id: int, parent_id: int) -> "RoutingTree":
         """A new tree with ``node_id`` attached as a leaf of ``parent_id``.

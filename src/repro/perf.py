@@ -20,6 +20,15 @@ across runners.
 Fleet layouts are near-square grids with exactly N sensors partitioned
 into 16 rooms, built by :func:`fleet_scenario` (square sizes reproduce
 ``grid_rooms_scenario`` exactly).
+
+With ``jobs > 1`` the ladder shards across worker processes via
+:mod:`repro.parallel`: each (size, repeat) pair is one shard that runs
+the hot path and — when comparing — the reference path back to back
+*in the same worker*, so ambient contention cancels out of the
+machine-normalized speedup exactly as interleaving does serially. A
+final aggregate-throughput section then drives ``jobs`` independent
+deployments simultaneously and prices the machine's horizontal
+capacity (total epochs/sec across all workers).
 """
 
 from __future__ import annotations
@@ -45,7 +54,9 @@ from .sensing.generators import RoomField
 
 #: Version tag written into every BENCH_perf.json (bump on any
 #: backwards-incompatible change to the payload layout).
-SCHEMA = "kspot-perf/1"
+#: /2: per-repeat timings, cpu_count + workers in the platform block,
+#: the aggregate-throughput section, and the shard-error envelope.
+SCHEMA = "kspot-perf/2"
 
 #: The e11 workload: four concurrent monitoring queries ranking rooms
 #: by different aggregates plus one historic TJA pass.
@@ -64,6 +75,10 @@ WORKLOAD_QUERIES = (
 
 #: Default fleet sizes (the ISSUE's scaling ladder).
 FLEET_SIZES = (25, 100, 400, 1000)
+
+#: The --quick (CI smoke) ladder: everything the regression gate
+#: inspects (N=100 *and* N=400) at interactive cost.
+QUICK_SIZES = (25, 100, 400)
 
 #: Measured epochs per fleet size: enough for a stable per-epoch
 #: number, small enough that the full ladder stays interactive.
@@ -125,11 +140,25 @@ def rss_bytes() -> int:
 
 @dataclass(frozen=True)
 class PathTiming:
-    """One driving mode's best-of-R timing at one fleet size."""
+    """One driving mode's best-of-R timing at one fleet size.
+
+    ``repeat_seconds`` keeps every repeat's wall clock (in repeat
+    order), so trajectory comparisons can reason about run-to-run
+    variance instead of trusting a single best-of figure.
+    """
 
     wall_seconds: float
     epochs: int
     messages: int
+    repeat_seconds: tuple[float, ...] = ()
+
+    @classmethod
+    def best_of(cls, timings: Sequence[float], epochs: int,
+                messages: int) -> "PathTiming":
+        """Best-of-R over per-repeat wall clocks (messages are
+        deterministic, identical across repeats)."""
+        return cls(wall_seconds=min(timings), epochs=epochs,
+                   messages=messages, repeat_seconds=tuple(timings))
 
     @property
     def epochs_per_sec(self) -> float:
@@ -168,6 +197,7 @@ class PerfSample:
             "epochs_per_sec": self.hot.epochs_per_sec,
             "messages": self.hot.messages,
             "messages_per_sec": self.hot.messages_per_sec,
+            "repeat_wall_seconds": list(self.hot.repeat_seconds),
             "peak_rss_bytes": self.peak_rss_bytes,
         }
         if self.reference is not None:
@@ -175,6 +205,7 @@ class PerfSample:
                 "wall_seconds": self.reference.wall_seconds,
                 "epochs_per_sec": self.reference.epochs_per_sec,
                 "messages_per_sec": self.reference.messages_per_sec,
+                "repeat_wall_seconds": list(self.reference.repeat_seconds),
             }
             data["speedup_vs_reference"] = self.speedup
         return data
@@ -188,6 +219,13 @@ class PerfReport:
     churn: str | None = None
     seed: int = 11
     quick: bool = False
+    #: Worker processes the ladder sharded across (1 = in-process).
+    workers: int = 1
+    #: The aggregate-throughput section (``jobs > 1`` runs only).
+    aggregate: dict | None = None
+    #: Shards that raised instead of reporting ({key, error} each);
+    #: the CI tripwire fails on a non-empty envelope.
+    shard_errors: list = field(default_factory=list)
 
     def sample_for(self, n_nodes: int) -> PerfSample | None:
         for sample in self.samples:
@@ -213,8 +251,12 @@ class PerfReport:
                 "implementation": platform.python_implementation(),
                 "machine": platform.machine(),
                 "system": platform.system(),
+                "cpu_count": os.cpu_count(),
+                "workers": self.workers,
             },
             "results": [sample.as_dict() for sample in self.samples],
+            "aggregate": self.aggregate,
+            "shard_errors": list(self.shard_errors),
         }
 
     def write(self, path: str | Path) -> Path:
@@ -260,40 +302,146 @@ def _drive_once(n: int, epochs: int, seed: int,
         hotpath.set_enabled(previous)
 
 
-def measure_fleet(n: int, epochs: int, repeats: int = 3, seed: int = 11,
-                  churn: str | None = None, churn_seed: int = 0,
-                  compare_reference: bool = False) -> PerfSample:
-    """Best-of-``repeats`` timings for one fleet size (interleaving the
-    hot and reference paths when comparing)."""
-    best_hot = best_ref = float("inf")
-    msgs_hot = msgs_ref = 0
-    peak_rss = 0
-    for _ in range(repeats):
-        elapsed, messages, rss = _drive_once(n, epochs, seed, churn,
-                                             churn_seed, hot=True)
-        # RSS is sampled inside each hot-path run (deployment still
-        # live) and maxed over repeats, so reference runs and other
-        # ladder sizes do not pollute the figure. Memory freed between
-        # sizes keeps the numbers per-size meaningful, though CPython
-        # may retain allocator arenas from earlier (smaller) sizes.
-        peak_rss = max(peak_rss, rss)
-        if elapsed < best_hot:
-            best_hot, msgs_hot = elapsed, messages
-        if compare_reference:
-            elapsed, messages, _ = _drive_once(n, epochs, seed, churn,
-                                               churn_seed, hot=False)
-            if elapsed < best_ref:
-                best_ref, msgs_ref = elapsed, messages
-    reference = (PathTiming(best_ref, epochs, msgs_ref)
-                 if compare_reference else None)
+@dataclass(frozen=True)
+class _RepeatSpec:
+    """One shard of the ladder: one repeat at one fleet size, running
+    hot (and, when comparing, reference — back to back in the same
+    worker so contention cancels out of the speedup)."""
+
+    n: int
+    epochs: int
+    repeat: int
+    seed: int
+    churn: str | None
+    churn_seed: int
+    compare_reference: bool
+
+
+def _measure_repeat(spec: _RepeatSpec) -> dict:
+    """The ladder's shard worker (module-level: the spawn contract)."""
+    elapsed, messages, rss = _drive_once(
+        spec.n, spec.epochs, spec.seed, spec.churn, spec.churn_seed,
+        hot=True)
+    payload = {"n": spec.n, "repeat": spec.repeat,
+               "hot": [elapsed, messages, rss], "reference": None}
+    if spec.compare_reference:
+        elapsed, messages, _ = _drive_once(
+            spec.n, spec.epochs, spec.seed, spec.churn, spec.churn_seed,
+            hot=False)
+        payload["reference"] = [elapsed, messages]
+    return payload
+
+
+@dataclass(frozen=True)
+class _ThroughputSpec:
+    """One shard of the aggregate-throughput measurement: a whole
+    deployment driven end to end (build + warm-up included — the
+    parent's wall clock around the batch cannot exclude them)."""
+
+    n: int
+    epochs: int
+    seed: int
+    churn: str | None
+    churn_seed: int
+
+
+def _measure_throughput(spec: _ThroughputSpec) -> dict:
+    started = time.perf_counter()
+    _drive_once(spec.n, spec.epochs, spec.seed, spec.churn,
+                spec.churn_seed, hot=True)
+    return {"epochs": spec.epochs,
+            "shard_seconds": time.perf_counter() - started}
+
+
+def _merge_size(results, n: int, epochs: int,
+                compare_reference: bool) -> PerfSample | None:
+    """Fold one size's repeat envelopes (any execution order) into a
+    sample — identical to what the old serial loop accumulated. None
+    when every repeat crashed (the envelopes carry the errors)."""
+    payloads = sorted((r.payload for r in results if r.ok),
+                      key=lambda p: p["repeat"])
+    if not payloads:
+        return None
+    hot = PathTiming.best_of(
+        [p["hot"][0] for p in payloads], epochs,
+        payloads[0]["hot"][1])
+    reference = None
+    if compare_reference:
+        reference = PathTiming.best_of(
+            [p["reference"][0] for p in payloads], epochs,
+            payloads[0]["reference"][1])
     return PerfSample(
         n_nodes=n,
         sessions=len(WORKLOAD_QUERIES),
-        repeats=repeats,
-        hot=PathTiming(best_hot, epochs, msgs_hot),
+        repeats=len(payloads),
+        hot=hot,
         reference=reference,
-        peak_rss_bytes=peak_rss,
+        # RSS is sampled inside each hot run (deployment still
+        # live) and maxed over repeats; worker processes carry only
+        # their own shards, so the figure stays per-size honest.
+        peak_rss_bytes=max(p["hot"][2] for p in payloads),
     )
+
+
+def _measure_aggregate(pool, jobs: int, n: int, epochs: int, seed: int,
+                       churn: str | None, churn_seed: int,
+                       serial_eps: float | None) -> tuple[dict, list]:
+    """Drive ``jobs`` independent deployments simultaneously and price
+    the machine's horizontal capacity; returns ``(section, results)``
+    so the caller can fold shard failures into the error envelope.
+
+    Each shard's deployment gets its own derived seed (a fleet of
+    distinct buildings, not one building cloned). ``scaleout`` is the
+    classic speedup estimator: summed in-worker shard time over the
+    parent's wall clock for the whole batch.
+    """
+    from .parallel import derive_seed
+
+    specs = [
+        _ThroughputSpec(n=n, epochs=epochs,
+                        seed=derive_seed(seed, "throughput", index),
+                        churn=churn, churn_seed=churn_seed)
+        for index in range(jobs)
+    ]
+    started = time.perf_counter()
+    results = pool.map_shards(_measure_throughput, specs,
+                              keys=[f"throughput-{i}" for i in range(jobs)])
+    wall = time.perf_counter() - started
+    payloads = [result.payload for result in results if result.ok]
+    epochs_total = sum(p["epochs"] for p in payloads)
+    aggregate_eps = epochs_total / wall if wall else 0.0
+    data = {
+        "workers": jobs,
+        "n_nodes": n,
+        "epochs_per_shard": epochs,
+        "epochs_total": epochs_total,
+        "wall_seconds": wall,
+        "epochs_per_sec": aggregate_eps,
+        "shard_seconds": [p["shard_seconds"] for p in payloads],
+        "scaleout": (sum(p["shard_seconds"] for p in payloads) / wall
+                     if wall else 0.0),
+    }
+    if serial_eps:
+        data["serial_epochs_per_sec"] = serial_eps
+    return data, results
+
+
+def measure_fleet(n: int, epochs: int, repeats: int = 3, seed: int = 11,
+                  churn: str | None = None, churn_seed: int = 0,
+                  compare_reference: bool = False) -> PerfSample:
+    """Best-of-``repeats`` timings for one fleet size, in-process
+    (interleaving the hot and reference paths when comparing)."""
+    from .parallel import ShardPool
+
+    specs = [
+        _RepeatSpec(n=n, epochs=epochs, repeat=repeat, seed=seed,
+                    churn=churn, churn_seed=churn_seed,
+                    compare_reference=compare_reference)
+        for repeat in range(repeats)
+    ]
+    with ShardPool(jobs=1) as pool:
+        results = pool.map_shards(_measure_repeat, specs)
+    return _merge_size(results, n, epochs, compare_reference)
 
 
 def run_perf(sizes: Sequence[int] = FLEET_SIZES,
@@ -302,26 +450,63 @@ def run_perf(sizes: Sequence[int] = FLEET_SIZES,
              compare_reference: bool = False,
              quick: bool = False,
              epochs_for: dict[int, int] | None = None,
-             progress=None) -> PerfReport:
+             progress=None, jobs: int = 1) -> PerfReport:
     """Measure the whole fleet-size ladder.
 
-    ``quick`` trims the *default* ladder to N ∈ {25, 100} with fewer
-    repeats — the CI smoke configuration; an explicitly chosen ``sizes``
-    selection is honoured as given. ``progress`` is an optional
-    callback invoked with each finished :class:`PerfSample`.
+    ``quick`` trims the *default* ladder to N ∈ {25, 100, 400} with
+    fewer repeats — the CI smoke configuration; an explicitly chosen
+    ``sizes`` selection is honoured as given. ``progress`` is an
+    optional callback invoked with each finished :class:`PerfSample`.
+    ``jobs > 1`` shards the (size, repeat) grid across that many
+    worker processes and appends the aggregate-throughput section.
     """
+    from .parallel import ShardPool, shard_errors
+
     if quick:
         if tuple(sizes) == FLEET_SIZES:
-            sizes = (25, 100)
+            sizes = QUICK_SIZES
         repeats = min(repeats, 2)
-    epochs_for = epochs_for or EPOCHS_FOR
+    defaults = epochs_for or EPOCHS_FOR
+    epochs_for = {
+        n: defaults.get(n) or max(4, 24_000 // max(n, 1) // 4)
+        for n in sizes
+    }
     report = PerfReport(churn=churn, seed=seed, quick=quick)
-    for n in sizes:
-        epochs = epochs_for.get(n) or max(4, 24_000 // max(n, 1) // 4)
-        sample = measure_fleet(
-            n, epochs, repeats=repeats, seed=seed, churn=churn,
-            churn_seed=churn_seed, compare_reference=compare_reference)
-        report.samples.append(sample)
-        if progress is not None:
-            progress(sample)
+    all_results = []
+    with ShardPool(jobs=jobs) as pool:
+        report.workers = pool.jobs
+        # One batch per fleet size: within a size the repeats shard
+        # across the workers, and each finished size streams to the
+        # progress callback (as the serial harness always has).
+        for n in sizes:
+            specs = [
+                _RepeatSpec(n=n, epochs=epochs_for[n], repeat=repeat,
+                            seed=seed, churn=churn,
+                            churn_seed=churn_seed,
+                            compare_reference=compare_reference)
+                for repeat in range(repeats)
+            ]
+            results = pool.map_shards(
+                _measure_repeat, specs,
+                keys=[f"N{n}-r{spec.repeat}" for spec in specs])
+            all_results.extend(results)
+            sample = _merge_size(results, n, epochs_for[n],
+                                 compare_reference)
+            if sample is not None:
+                report.samples.append(sample)
+                if progress is not None:
+                    progress(sample)
+        if pool.jobs > 1:
+            # Price horizontal capacity at the largest interactive
+            # size of this run (1000-node shards would dominate the
+            # batch without adding information).
+            eligible = [n for n in sizes if n <= 400] or list(sizes)
+            agg_n = max(eligible)
+            sample = report.sample_for(agg_n)
+            report.aggregate, throughput_results = _measure_aggregate(
+                pool, pool.jobs, agg_n, epochs_for[agg_n], seed, churn,
+                churn_seed,
+                sample.hot.epochs_per_sec if sample else None)
+            all_results.extend(throughput_results)
+        report.shard_errors = shard_errors(all_results)
     return report

@@ -264,3 +264,87 @@ class TestArgparse:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestShardedWorkload:
+    """Several workload files: independent deployments across workers."""
+
+    FILE_A = ("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY "
+              "roomid EPOCH DURATION 1 min\n")
+    FILE_B = ("SELECT TOP 1 roomid, MAX(sound) FROM sensors GROUP BY "
+              "roomid EPOCH DURATION 1 min\n"
+              "tput: SELECT TOP 2 epoch, AVG(sound) FROM sensors "
+              "GROUP BY epoch WITH HISTORY 4 s EPOCH DURATION 1 s\n")
+
+    def _files(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        a.write_text(self.FILE_A)
+        b.write_text(self.FILE_B)
+        return str(a), str(b)
+
+    def test_multi_file_table_report(self, tmp_path, capsys):
+        a, b = self._files(tmp_path)
+        assert main(["workload", a, b, "--epochs", "4", "--side", "4",
+                     "--rooms", "2", "--baseline", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"== {a} ==" in out
+        assert f"== {b} ==" in out
+        assert "aggregate savings" in out
+
+    def test_jobs_never_change_the_json(self, tmp_path, capsys):
+        a, b = self._files(tmp_path)
+        argv = ["workload", a, b, "--epochs", "4", "--side", "4",
+                "--rooms", "2", "--seed", "3", "--format", "json"]
+        assert main([*argv, "--jobs", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main([*argv, "--jobs", "2"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert serial == sharded
+        assert [shard["file"] for shard in serial["shards"]] == [a, b]
+        assert serial["shard_errors"] == []
+
+    def test_failing_shard_reported_not_swallowed(self, tmp_path,
+                                                  capsys):
+        a, _ = self._files(tmp_path)
+        missing = str(tmp_path / "nope.txt")
+        assert main(["workload", a, missing, "--epochs", "2",
+                     "--side", "4", "--rooms", "2", "--jobs", "2"]) == 2
+        captured = capsys.readouterr()
+        assert f"== {a} ==" in captured.out  # the good shard reported
+        assert "shard failed" in captured.err
+        assert "cannot read workload file" in captured.err
+
+
+class TestSweepCommand:
+    def test_sweep_table_report(self, capsys):
+        assert main(["sweep", "--sizes", "9,16", "--churn", "none,calm",
+                     "--mixes", "mint", "--epochs", "3",
+                     "--jobs", "2", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "totals: 4 cells, 8 sessions" in out
+        assert "aggregate savings" in out
+
+    def test_sweep_json_round_trips_and_writes(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_sweep.json"
+        assert main(["sweep", "--sizes", "9", "--mixes", "historic",
+                     "--epochs", "12", "--format", "json",
+                     "--output", str(output)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert json.loads(json.dumps(data)) == data
+        assert data["totals"]["cells"] == 1
+        assert data["shard_errors"] == []
+        (cell,) = data["cells"]
+        assert cell["cell"]["key"] == "n9-churn_none-historic"
+        assert cell["sessions"][0]["state"] == "finished"
+        written = json.loads(output.read_text())
+        assert written["totals"] == data["totals"]
+
+    def test_unknown_mix_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--mixes", "nope"]) == 2
+        assert "unknown query mix" in capsys.readouterr().err
+
+    def test_bad_sizes_rejected(self, capsys):
+        assert main(["sweep", "--sizes", "ten"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err

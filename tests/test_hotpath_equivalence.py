@@ -142,6 +142,31 @@ def test_hot_path_equals_reference_path(seed, k, agg, engines, epochs,
     assert hot == reference
 
 
+@pytest.mark.parametrize("engine", ["mint", "tag", "fila"])
+@pytest.mark.parametrize("churn_seed", [None, 1])
+def test_each_engine_hot_equals_reference(engine, churn_seed):
+    """Deterministic per-engine coverage: every engine with a fused
+    hot-path pass (MINT's prune+update, TAG's aggregation, FILA's
+    monitor+bounds) is held to the reference path individually — the
+    property test above samples engine mixes, this pins each one."""
+    kwargs = dict(seed=1234, k=2, agg="AVG", engines=[engine],
+                  epochs=6, churn_seed=churn_seed)
+    with hotpath.reference_path():
+        reference = run_workload(**kwargs)
+    assert run_workload(**kwargs) == reference
+
+
+def test_all_engines_concurrently_hot_equals_reference():
+    """The full five-engine mix sharing one deployment and one clock:
+    cross-engine interleaving must not leak between the paths."""
+    kwargs = dict(seed=77, k=2, agg="MAX",
+                  engines=sorted(QUERY_BY_ENGINE), epochs=5,
+                  churn_seed=3)
+    with hotpath.reference_path():
+        reference = run_workload(**kwargs)
+    assert run_workload(**kwargs) == reference
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     seed=st.integers(0, 10_000),

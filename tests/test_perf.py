@@ -10,6 +10,7 @@ from repro.cli import main as cli_main
 from repro.perf import (
     EPOCHS_FOR,
     FLEET_SIZES,
+    QUICK_SIZES,
     SCHEMA,
     PathTiming,
     PerfSample,
@@ -43,6 +44,9 @@ class TestFleetScenario:
     def test_default_ladder(self):
         assert FLEET_SIZES == (25, 100, 400, 1000)
         assert set(EPOCHS_FOR) == set(FLEET_SIZES)
+        # The CI smoke ladder covers every size the regression gate
+        # inspects (N=100 and N=400).
+        assert QUICK_SIZES == (25, 100, 400)
 
 
 class TestMeasurement:
@@ -50,9 +54,13 @@ class TestMeasurement:
         report = run_perf(sizes=(9,), repeats=1,
                           epochs_for={9: 3})
         data = report.as_dict()
-        assert data["schema"] == SCHEMA
+        assert data["schema"] == SCHEMA == "kspot-perf/2"
         assert data["workload"] == "e11-multiquery"
         assert len(data["queries"]) == 5
+        assert data["platform"]["cpu_count"] >= 1
+        assert data["platform"]["workers"] == 1
+        assert data["aggregate"] is None
+        assert data["shard_errors"] == []
         (sample,) = data["results"]
         assert sample["n_nodes"] == 9
         assert sample["epochs"] == 3
@@ -65,6 +73,16 @@ class TestMeasurement:
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(data))
 
+    def test_all_repeat_timings_recorded(self):
+        report = run_perf(sizes=(9,), repeats=3, epochs_for={9: 2},
+                          compare_reference=True)
+        sample = report.sample_for(9).as_dict()
+        assert len(sample["repeat_wall_seconds"]) == 3
+        assert sample["wall_seconds"] == min(sample["repeat_wall_seconds"])
+        assert len(sample["reference"]["repeat_wall_seconds"]) == 3
+        assert sample["reference"]["wall_seconds"] == min(
+            sample["reference"]["repeat_wall_seconds"])
+
     def test_compare_reference_reports_speedup(self):
         report = run_perf(sizes=(9,), repeats=1, epochs_for={9: 3},
                           compare_reference=True)
@@ -76,10 +94,62 @@ class TestMeasurement:
 
     def test_quick_mode_trims_the_ladder(self):
         report = run_perf(sizes=(25, 100, 400, 1000), repeats=1,
-                          quick=True, epochs_for={25: 2, 100: 2})
-        assert [s.n_nodes for s in report.samples] == [25, 100]
+                          quick=True,
+                          epochs_for={25: 2, 100: 2, 400: 2})
+        assert [s.n_nodes for s in report.samples] == [25, 100, 400]
         assert all(s.repeats == 1 for s in report.samples)
         assert report.as_dict()["quick"] is True
+
+    def test_sharded_run_matches_serial_counters(self):
+        """--jobs changes wall clocks, never measurements: messages,
+        epochs and the schema payload shape are identical."""
+        serial = run_perf(sizes=(9, 16), repeats=2,
+                          epochs_for={9: 2, 16: 2})
+        sharded = run_perf(sizes=(9, 16), repeats=2,
+                           epochs_for={9: 2, 16: 2}, jobs=2)
+        assert sharded.workers == 2
+        assert sharded.shard_errors == []
+        for n in (9, 16):
+            a, b = serial.sample_for(n), sharded.sample_for(n)
+            assert a.hot.messages == b.hot.messages
+            assert a.hot.epochs == b.hot.epochs
+            assert a.repeats == b.repeats == 2
+        aggregate = sharded.as_dict()["aggregate"]
+        assert aggregate["workers"] == 2
+        assert aggregate["n_nodes"] == 16
+        assert aggregate["epochs_total"] == 2 * 2
+        assert aggregate["epochs_per_sec"] > 0
+        assert len(aggregate["shard_seconds"]) == 2
+
+    def test_shard_crash_lands_in_the_error_envelope(self, monkeypatch):
+        """A worker that raises must surface in shard_errors, never
+        vanish (the CI tripwire's contract)."""
+        import repro.perf as perf_module
+
+        def boom(spec):
+            raise RuntimeError("worker crashed")
+
+        monkeypatch.setattr(perf_module, "_measure_repeat", boom)
+        report = run_perf(sizes=(9,), repeats=1, epochs_for={9: 2})
+        assert report.samples == []
+        assert len(report.shard_errors) == 1
+        assert "worker crashed" in report.shard_errors[0]["error"]
+
+    def test_throughput_shard_crash_lands_in_the_error_envelope(
+            self, monkeypatch):
+        """Aggregate-throughput shards report through the same
+        envelope as the ladder — a crashed worker there must not
+        leave an honest-looking aggregate section behind."""
+        import repro.perf as perf_module
+
+        monkeypatch.setattr(perf_module, "_measure_throughput",
+                            _throughput_boom)
+        report = run_perf(sizes=(9,), repeats=1, epochs_for={9: 2},
+                          jobs=2)
+        assert len(report.shard_errors) == 2
+        assert all("throughput worker crashed" in entry["error"]
+                   for entry in report.shard_errors)
+        assert report.aggregate["epochs_total"] == 0
 
     def test_churn_workload_runs(self):
         report = run_perf(sizes=(16,), repeats=1, epochs_for={16: 4},
@@ -101,6 +171,11 @@ class TestMeasurement:
                             peak_rss_bytes=1)
         assert sample.speedup is None
         assert "speedup_vs_reference" not in sample.as_dict()
+
+
+def _throughput_boom(spec):
+    """Module-level (picklable) crasher for the tripwire test."""
+    raise RuntimeError("throughput worker crashed")
 
 
 class TestPerfCli:
