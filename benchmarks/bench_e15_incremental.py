@@ -1,0 +1,74 @@
+"""E15 — incremental certification: TopKView vs cold certify_top_k.
+
+The incremental-view PR threads a maintained :class:`~repro.core.delta.
+TopKView` through the sinks so every certification call stops re-ranking
+all N groups from scratch. This benchmark prices that claim on the real
+workload: :func:`repro.perf.certifier_streams` records every cold
+``certify_top_k`` call FILA's sink makes over the e11 fleet deployment
+(monitor pass, probe loop, answer-time pass), and
+:func:`repro.perf.measure_certifier` replays the stream twice —
+
+* **cold**: ``certify_top_k`` per recorded snapshot (O(N log N) each),
+* **incremental**: one persistent view applying the consecutive
+  weighted deltas (O(|delta| · log N) each) and answering
+  ``outcome()``,
+
+with the two outcome sequences asserted equal (dataclass equality) on
+the measured stream itself before anything is timed. The acceptance
+bound holds the incremental path to **≥ 2× certification throughput at
+N = 400** — the floor the ISSUE sets and the CI regression gate
+(``check_perf_regression.py``) keeps honest thereafter.
+"""
+
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
+from repro.perf import measure_certifier
+
+from conftest import once
+
+#: Fleet sizes priced (400 is the gated size).
+SIZES = (100, 400)
+EPOCHS = 30
+SEED = 11
+K = 5
+REPEATS = 3
+
+#: The acceptance bound at N=400 (the ISSUE's floor).
+MIN_SPEEDUP = 2.0
+
+
+def run_experiment():
+    return [measure_certifier(n=n, epochs=EPOCHS, seed=SEED, k=K,
+                              repeats=REPEATS)
+            for n in SIZES]
+
+
+def test_e15_incremental_certification(benchmark, table):
+    measurements = once(benchmark, run_experiment)
+
+    rows = []
+    for m in measurements:
+        rows.append([m["n_groups"], m["certifications"],
+                     m["delta_entries"],
+                     f"{m['cold_per_sec']:.0f}",
+                     f"{m['incremental_per_sec']:.0f}",
+                     f"{m['speedup']:.2f}x"])
+    table(f"E15: incremental certification (FILA stream, {EPOCHS} epochs, "
+          f"k={K}, best of {REPEATS})",
+          ["groups", "certifications", "delta entries",
+           "cold certify/s", "incremental/s", "speedup"],
+          rows)
+
+    # measure_certifier raises if the incremental outcomes diverge from
+    # the cold certifier's, so reaching here already proves equivalence
+    # on the measured stream; the gate below is the throughput floor.
+    at_400 = next(m for m in measurements if m["n_groups"] == 400)
+    assert at_400["speedup"] >= MIN_SPEEDUP, (
+        f"incremental certification at N=400 is only "
+        f"{at_400['speedup']:.2f}x over cold certify_top_k "
+        f"(floor {MIN_SPEEDUP:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

@@ -33,7 +33,7 @@ from pathlib import Path
 
 DEFAULT_TRAJECTORY = Path(__file__).resolve().parent / "perf_trajectory.json"
 
-TRAJECTORY_SCHEMA = "kspot-perf-trajectory/1"
+TRAJECTORY_SCHEMA = "kspot-perf-trajectory/2"
 
 
 def load(path: Path) -> dict:
@@ -67,6 +67,12 @@ def write_trajectory(report: dict, path: Path) -> None:
             for sample in report.get("results", ())
         ],
     }
+    certifier = report.get("certifier")
+    if certifier is not None:
+        trajectory["certifier"] = {
+            "n_groups": certifier["n_groups"],
+            "speedup": certifier["speedup"],
+        }
     path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     print(f"wrote {path}")
@@ -114,6 +120,42 @@ def gate_at(report: dict, trajectory: dict, n_nodes: int,
     return True
 
 
+def gate_certifier(report: dict, trajectory: dict,
+                   tolerance: float) -> bool:
+    """Gate the certifier microbench's cold-vs-incremental speedup.
+
+    Mirrors :func:`gate_at`: absent from the committed trajectory →
+    skipped with a note; present there but missing from the fresh
+    report → hard error (the gate never silently stops gating). The
+    speedup is machine-normalized by construction (both replays run
+    interleaved on the same host over the same recorded stream).
+    """
+    committed = trajectory.get("certifier")
+    if committed is None:
+        print("certifier: not in the committed trajectory — "
+              "skipped (refresh with --write to start gating it)")
+        return True
+    fresh = report.get("certifier")
+    if fresh is None:
+        sys.exit("error: report lacks the certifier section — run "
+                 "a kspot-perf/3 `repro perf`")
+    if fresh.get("n_groups") != committed.get("n_groups"):
+        print(f"certifier: fresh run measured N={fresh.get('n_groups')} "
+              f"groups, trajectory holds N={committed.get('n_groups')} — "
+              f"skipped (size mismatch)")
+        return True
+
+    floor = (1.0 - tolerance) * committed["speedup"]
+    print(f"certifier: incremental speedup {fresh['speedup']:.2f}x over "
+          f"cold certify at N={fresh['n_groups']} "
+          f"(committed {committed['speedup']:.2f}x, floor {floor:.2f}x)")
+    if fresh["speedup"] < floor:
+        print(f"FAIL: incremental certification regressed more than "
+              f"{tolerance:.0%} against the committed trajectory")
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="fresh BENCH_perf.json to check")
@@ -142,7 +184,8 @@ def main(argv=None) -> int:
                  f"got {args.at!r}")
 
     passed = all([gate_at(report, trajectory, n, args.tolerance)
-                  for n in sizes])
+                  for n in sizes]
+                 + [gate_certifier(report, trajectory, args.tolerance)])
     if not passed:
         return 1
     print("OK: hot path within the committed trajectory")

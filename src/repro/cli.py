@@ -281,7 +281,9 @@ def _session_json(handle: SessionHandle) -> dict:
     else:
         data["results"] = [
             {"epoch": r.epoch, "exact": r.exact, "probed": r.probed,
-             "items": _items_json(r.items)}
+             "items": _items_json(r.items),
+             "certification": (None if r.certification is None
+                               else r.certification.as_dict())}
             for r in handle.results
         ]
     panel = handle.system_panel

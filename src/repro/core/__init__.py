@@ -21,6 +21,7 @@ right algorithm, mirroring the paper's query router.
 
 from .aggregates import Aggregate, Bounds, Partial
 from .certify import CertificationOutcome, certify_top_k
+from .delta import BoundsDelta, DeltaEntry, TopKView
 from .engine import KSpotEngine
 from .results import (EpochResult, RankedItem, is_valid_top_k, oracle_scores,
                       oracle_top_k, same_answer_set)
@@ -38,6 +39,9 @@ __all__ = [
     "Bounds",
     "certify_top_k",
     "CertificationOutcome",
+    "BoundsDelta",
+    "DeltaEntry",
+    "TopKView",
     "RankedItem",
     "EpochResult",
     "oracle_top_k",

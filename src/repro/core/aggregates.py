@@ -62,7 +62,7 @@ class Partial(NamedTuple):
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Bounds:
     """A certified interval for a group's final aggregate value."""
 

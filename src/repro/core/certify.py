@@ -10,8 +10,17 @@ Given a certified interval ``[lb, ub]`` per group, the sink can often
    exact values for precisely those groups.
 
 After probing, every ambiguous group's interval is a point, so the set
-*and the order* of the answer are exact. This is the decision procedure
-MINT's update phase runs every epoch.
+*and the order* of the answer are exact.
+
+:func:`certify_top_k` here is the stateless **reference oracle** of
+that decision procedure: given a full bounds mapping it re-derives
+everything from scratch, O(N log N) per call. On the optimized path
+(:mod:`repro.network.hotpath`) the engines no longer call it per
+epoch — each session feeds per-epoch *deltas* into a maintained
+:class:`~repro.core.delta.TopKView` whose ``outcome()`` is proven
+byte-identical to this oracle (``tests/test_delta_equivalence.py``).
+The oracle stays authoritative: the reference path still runs it cold,
+and every equivalence test compares the view against it.
 """
 
 from __future__ import annotations
@@ -37,6 +46,35 @@ class CertificationOutcome:
     def needs_probe(self) -> bool:
         """True when a probe round must resolve the ambiguous groups."""
         return not self.certified
+
+    def as_dict(self) -> dict:
+        """Plain-data form for JSON surfaces (mirrors
+        :meth:`~repro.gui.stats.SavingsSample.as_dict`)."""
+        return {
+            "certified": self.certified,
+            "threshold": self.threshold,
+            "ambiguous": list(self.ambiguous),
+            "items": [
+                {"key": item.key, "score": item.score,
+                 "lb": item.lb, "ub": item.ub}
+                for item in self.items
+            ],
+            "needs_probe": self.needs_probe,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CertificationOutcome":
+        """Rebuild an outcome from :meth:`as_dict` output."""
+        return cls(
+            certified=bool(data["certified"]),
+            items=tuple(
+                RankedItem(key=item["key"], score=item["score"],
+                           lb=item["lb"], ub=item["ub"])
+                for item in data["items"]
+            ),
+            ambiguous=tuple(data["ambiguous"]),
+            threshold=data["threshold"],
+        )
 
 
 def certify_top_k(bounds: Mapping[Hashable, Bounds], k: int,

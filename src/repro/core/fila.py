@@ -31,6 +31,7 @@ from ..network.messages import (
 from ..network.simulator import Network
 from .aggregates import Aggregate, Bounds
 from .certify import certify_top_k
+from .delta import TopKView
 from .results import EpochResult, rank_key
 
 
@@ -64,6 +65,13 @@ class Fila:
         #: sorted filter ids); valid only while ``filters`` keeps its
         #: key set, which post-setup only churn can change.
         self._install_order: tuple[int, ...] | None = None
+        #: Hot path: the sink's maintained certification view. FILA is
+        #: the certifier's heaviest client (monitor + probe rounds +
+        #: the answer pass certify every epoch over all N nodes); the
+        #: view re-ranks only the nodes whose bound actually moved —
+        #: violations, probes and filter reinstalls, typically a
+        #: handful per epoch.
+        self._view = TopKView(k, require_exact_scores=False)
 
     # ------------------------------------------------------------------
     # Filter management
@@ -158,28 +166,30 @@ class Fila:
         self._install_order = None
 
     def _run_monitor_phase(self, readings: Mapping[int, float]
-                           ) -> dict[int, Bounds]:
+                           ) -> Mapping[int, Bounds]:
         """The monitoring + interval-derivation pass, fused (hot path).
 
         Semantically identical to the reference branch in
         :meth:`run_epoch` — same reports in the same order, same bound
         per node — with the filter lookup shared between the violation
         check and the bound, the transport and ledgers resolved once,
-        and the second full pass over ``readings`` eliminated (bound
-        derivation touches no stats, so phase snapshots are unchanged).
+        and the per-node bounds converged into the persistent
+        :class:`~repro.core.delta.TopKView` (an unchanged bound costs
+        two float compares, no allocation, no re-rank).
         """
         network = self.network
         epoch = network.epoch
         filters_get = self.filters.get
         known = self.known
         unicast_to_sink = network.unicast_to_sink
-        bounds: dict[int, Bounds] = {}
+        view = self._view
+        ensure = view.ensure
         with network.stats.phase("monitor"):
             for node_id, value in readings.items():
                 current = filters_get(node_id)
                 if (current is not None
                         and current[0] <= value <= current[1]):
-                    bounds[node_id] = Bounds(current[0], current[1])
+                    ensure(node_id, current[0], current[1])
                     continue
                 unicast_to_sink(
                     node_id, FilterReportMessage(
@@ -188,8 +198,26 @@ class Fila:
                 known[node_id] = value
                 # The violating node's filter is void until reset;
                 # its value is exactly known this epoch.
-                bounds[node_id] = Bounds(value, value)
-        return bounds
+                ensure(node_id, value, value)
+        self._drop_stale_view_nodes(readings)
+        return view.bounds
+
+    def _drop_stale_view_nodes(self, readings: Mapping[int, float]) -> None:
+        """Retract view entries for nodes no longer read (deaths the
+        session's topology handler did not see, e.g. engine-direct
+        runs)."""
+        view = self._view
+        if len(view) != len(readings):
+            for node_id in [n for n in view.bounds if n not in readings]:
+                view.delete(node_id)
+
+    def _certify(self, bounds: Mapping[int, Bounds], hot: bool):
+        """Hot: the maintained view's O(k + |ambiguous| + log N)
+        outcome. Reference: the cold O(N log N) oracle. Equal by the
+        delta-equivalence suite."""
+        if hot:
+            return self._view.outcome()
+        return certify_top_k(bounds, self.k, require_exact_scores=False)
 
     def run_epoch(self) -> EpochResult:
         """One monitoring round: violations, certification, probes."""
@@ -199,10 +227,11 @@ class Fila:
             for node_id in self.network.alive_sensor_ids()
         }
         probed = 0
+        hot = hotpath.enabled()
         if not self._setup_done:
             self._setup(readings)
         else:
-            if hotpath.enabled():
+            if hot:
                 bounds = self._run_monitor_phase(readings)
             else:
                 with self.network.stats.phase("monitor"):
@@ -234,8 +263,7 @@ class Fila:
                         bounds[node_id] = Bounds(value, value)
             # FILA certifies set membership: silent nodes keep their
             # filter interval as the score estimate.
-            outcome = certify_top_k(bounds, self.k,
-                                    require_exact_scores=False)
+            outcome = self._certify(bounds, hot)
             while outcome.needs_probe:
                 with self.network.stats.phase("probe"):
                     for node_id in outcome.ambiguous:
@@ -249,12 +277,17 @@ class Fila:
                                 epoch=self.network.epoch,
                                 entries=(ViewEntry(
                                     node_id, readings[node_id], 1),)))
-                        self.known[node_id] = readings[node_id]
-                        bounds[node_id] = Bounds(readings[node_id],
-                                                 readings[node_id])
+                        value = readings[node_id]
+                        self.known[node_id] = value
+                        if hot:
+                            # Never item-assign into view.bounds — the
+                            # collapse must go through the delta surface
+                            # to keep the maintained orders in sync.
+                            self._view.ensure(node_id, value, value)
+                        else:
+                            bounds[node_id] = Bounds(value, value)
                 probed += 1
-                outcome = certify_top_k(bounds, self.k,
-                                        require_exact_scores=False)
+                outcome = self._certify(bounds, hot)
 
             # Re-partition the filters around the certified cut.
             chosen = {item.key for item in outcome.items}
@@ -276,16 +309,37 @@ class Fila:
         # Build the answer from current knowledge.
         known_get = self.known.get
         filters_get = self.filters.get
-        unknown = Bounds(self.aggregate.lo, self.aggregate.hi)
-        bounds = {}
-        for node_id, value in readings.items():
-            if known_get(node_id) == value:
-                bounds[node_id] = Bounds(value, value)
-            else:
-                current = filters_get(node_id)
-                bounds[node_id] = (unknown if current is None
-                                   else Bounds(current[0], current[1]))
-        outcome = certify_top_k(bounds, self.k, require_exact_scores=False)
+        if hot:
+            # Converge the persistent view to answer-time knowledge:
+            # only nodes whose filter was just reinstalled (or probed /
+            # violated above) actually move.
+            view = self._view
+            ensure = view.ensure
+            lo, hi = self.aggregate.lo, self.aggregate.hi
+            for node_id, value in readings.items():
+                if known_get(node_id) == value:
+                    ensure(node_id, value, value)
+                else:
+                    current = filters_get(node_id)
+                    if current is None:
+                        ensure(node_id, lo, hi)
+                    else:
+                        ensure(node_id, current[0], current[1])
+            self._drop_stale_view_nodes(readings)
+            bounds = view.bounds
+            outcome = view.outcome()
+        else:
+            unknown = Bounds(self.aggregate.lo, self.aggregate.hi)
+            bounds = {}
+            for node_id, value in readings.items():
+                if known_get(node_id) == value:
+                    bounds[node_id] = Bounds(value, value)
+                else:
+                    current = filters_get(node_id)
+                    bounds[node_id] = (unknown if current is None
+                                       else Bounds(current[0], current[1]))
+            outcome = certify_top_k(bounds, self.k,
+                                    require_exact_scores=False)
         result = EpochResult(
             epoch=self.network.epoch,
             items=outcome.items,
@@ -293,14 +347,16 @@ class Fila:
             algorithm=self.name,
             probed=probed,
             all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+            certification=outcome,
         )
         self.network.advance_epoch()
         return result
 
     def handle_topology_event(self, event) -> int:
-        """Drop the dead node's filter and known value; newborns get a
-        filter lazily (their first epoch reports, the repartition step
-        then installs one). Returns the number of filters invalidated.
+        """Drop the dead node's filter, known value and view entry;
+        newborns get a filter lazily (their first epoch reports, the
+        repartition step then installs one). Returns the number of
+        filters invalidated.
         """
         invalidated = 0
         if event.failed:
@@ -308,6 +364,7 @@ class Fila:
                 invalidated += 1
                 self._install_order = None
             self.known.pop(event.node_id, None)
+            self._view.delete(event.node_id)
         return invalidated
 
     def run(self, epochs: int) -> list[EpochResult]:

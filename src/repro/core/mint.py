@@ -45,6 +45,7 @@ from ..network.messages import (
 from ..network.simulator import Network
 from .aggregates import Aggregate, Bounds, Partial, SortKeys
 from .certify import certify_top_k
+from .delta import TopKView
 from .descriptors import should_reship_gamma, subtree_gamma
 from .results import EpochResult, rank_key
 from .views import MintNodeState, max_gamma
@@ -123,6 +124,18 @@ class Mint:
         self._lift_memo: dict[float, Partial] = {}
         #: Hot-path memo of the participant tuple (see _participants).
         self._participants_cache: tuple | None = None
+        #: Hot path: the sink's maintained certification view plus the
+        #: bounds cache it mirrors. The update phase marks the groups
+        #: whose sink-child reports moved; only those re-derive bounds
+        #: and re-enter the view (O(|dirty| · log N) per epoch instead
+        #: of a full _sink_bounds + certify_top_k re-rank).
+        self._sink_view = TopKView(k)
+        self._sink_cache: dict[GroupKey, Bounds] | None = None
+        self._sink_dirty: set[GroupKey] = set()
+        #: Groups the last probe collapsed to points in the view; their
+        #: pristine cached intervals are restored next epoch before the
+        #: dirty recompute.
+        self._probe_restore: tuple[GroupKey, ...] = ()
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -288,7 +301,6 @@ class Mint:
                 state.view = self._rebuild_view(
                     node_id, contributions.get(node_id))
                 state.withheld = {}
-                state.gamma_current = None
                 message = ViewUpdateMessage(
                     epoch=self.network.epoch,
                     entries=tuple(
@@ -316,34 +328,85 @@ class Mint:
         self.created = True
         self._totals_stale = False
 
-    def _sink_bounds(self) -> dict[GroupKey, Bounds]:
-        """Certified interval per group from the sink's child caches."""
-        bounds: dict[GroupKey, Bounds] = {}
-        sink_children = [
+    def _live_sink_children(self) -> list[int]:
+        return [
             child for child in self.network.tree.children(self.network.sink_id)
             if self.network.node(child).alive
         ]
-        for group, total in self.group_totals.items():
-            seen: Partial | None = None
-            gamma: float | None = None
-            for child in sink_children:
-                partial = self.states[child].reported.get(group)
-                expected = self.child_group_totals.get(child, {}).get(group, 0)
-                seen_count = partial.count if partial is not None else 0
-                if partial is not None:
-                    seen = (partial if seen is None
-                            else self.aggregate.merge(seen, partial))
-                if seen_count < expected:
-                    child_gamma = self.states[child].gamma_reported
-                    if child_gamma is None:
-                        raise ProtocolError(
-                            f"child {child} withholds mass for group "
-                            f"{group!r} without a γ descriptor"
-                        )
-                    gamma = max_gamma(gamma, child_gamma)
-            unseen = total - (seen.count if seen is not None else 0)
-            bounds[group] = self.aggregate.bounds(seen, unseen, gamma)
-        return bounds
+
+    def _bounds_for_group(self, group: GroupKey, total: int,
+                          sink_children: list[int]) -> Bounds:
+        """One group's certified interval from the sink's child caches."""
+        seen: Partial | None = None
+        gamma: float | None = None
+        for child in sink_children:
+            partial = self.states[child].reported.get(group)
+            expected = self.child_group_totals.get(child, {}).get(group, 0)
+            seen_count = partial.count if partial is not None else 0
+            if partial is not None:
+                seen = (partial if seen is None
+                        else self.aggregate.merge(seen, partial))
+            if seen_count < expected:
+                child_gamma = self.states[child].gamma_reported
+                if child_gamma is None:
+                    raise ProtocolError(
+                        f"child {child} withholds mass for group "
+                        f"{group!r} without a γ descriptor"
+                    )
+                gamma = max_gamma(gamma, child_gamma)
+        unseen = total - (seen.count if seen is not None else 0)
+        return self.aggregate.bounds(seen, unseen, gamma)
+
+    def _sink_bounds(self) -> dict[GroupKey, Bounds]:
+        """Certified interval per group from the sink's child caches."""
+        sink_children = self._live_sink_children()
+        return {
+            group: self._bounds_for_group(group, total, sink_children)
+            for group, total in self.group_totals.items()
+        }
+
+    def _rebuild_sink_state(self) -> dict[GroupKey, Bounds]:
+        """Cold start of the incremental sink state: derive every
+        group's bounds and reconcile the view (births and deaths of
+        groups fall out of the reconcile — churn recovery lands here
+        via the cache invalidation in the topology handlers)."""
+        cache = self._sink_bounds()
+        self._sink_cache = cache
+        self._sink_dirty.clear()
+        self._probe_restore = ()
+        self._sink_view.reconcile(cache)
+        return cache
+
+    def _refresh_sink_state(self) -> dict[GroupKey, Bounds]:
+        """Re-derive bounds for the dirty groups only, feed the deltas
+        into the maintained view, and return the full (cached) mapping
+        — the hot-path replacement for a cold :meth:`_sink_bounds`."""
+        cache = self._sink_cache
+        if cache is None:
+            return self._rebuild_sink_state()
+        dirty = self._sink_dirty
+        if dirty:
+            sink_children = self._live_sink_children()
+            totals = self.group_totals
+            for group in dirty:
+                total = totals.get(group)
+                if total is None:
+                    continue
+                cache[group] = self._bounds_for_group(
+                    group, total, sink_children)
+        view_set = self._sink_view.set
+        for group in self._probe_restore:
+            # Undo last epoch's probe collapse unless the group is
+            # dirty anyway (then the loop below re-asserts it).
+            if group not in dirty and group in cache:
+                view_set(group, cache[group])
+        self._probe_restore = ()
+        for group in dirty:
+            interval = cache.get(group)
+            if interval is not None:
+                view_set(group, interval)
+        dirty.clear()
+        return cache
 
     def _probe(self, groups: tuple[GroupKey, ...]) -> dict[GroupKey, Partial]:
         """Fetch the withheld partials of the ambiguous groups.
@@ -421,8 +484,13 @@ class Mint:
         """Execute one acquisition round and return the certified top-k."""
         if not self.created:
             self._creation_phase()
-            bounds = self._sink_bounds()
-            outcome = certify_top_k(bounds, self.k)
+            if hotpath.enabled():
+                bounds = self._rebuild_sink_state()
+                outcome = self._sink_view.outcome()
+            else:
+                self._sink_cache = None
+                bounds = self._sink_bounds()
+                outcome = certify_top_k(bounds, self.k)
             result = EpochResult(
                 epoch=self.network.epoch,
                 items=outcome.items,
@@ -430,17 +498,20 @@ class Mint:
                 algorithm=self.name,
                 probed=0,
                 all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+                certification=outcome,
             )
             self.network.advance_epoch()
             return result
 
+        hot = hotpath.enabled()
         if self._totals_stale:
             self._recount_totals()
             self._totals_stale = False
         contributions = self._acquire()
-        if hotpath.enabled():
+        if hot:
             self._run_update_phase(contributions)
         else:
+            self._sink_cache = None
             network = self.network
             states = self.states
             nodes = network.nodes
@@ -461,18 +532,27 @@ class Mint:
                         if nodes[child].alive
                     ]
                     gamma = subtree_gamma(aggregate, withheld, child_gammas)
-                    state.gamma_current = gamma
                     message = self._update_message(state, kept, gamma, epoch)
                     if message is not None:
                         network.send_up(node_id, message)
                         self._apply_report(state, kept, message)
 
-        bounds = self._sink_bounds()
-        outcome = certify_top_k(bounds, self.k)
+        if hot:
+            bounds = self._refresh_sink_state()
+            outcome = self._sink_view.outcome()
+        else:
+            bounds = self._sink_bounds()
+            outcome = certify_top_k(bounds, self.k)
         probed = 0
         if outcome.needs_probe:
             collected = self._probe(outcome.ambiguous)
             probed = 1
+            if hot:
+                # Copy-on-probe: the cache keeps the pristine intervals
+                # (next epoch's dirty recompute diffs against them);
+                # only the result's all_bounds and the view see points.
+                bounds = dict(bounds)
+            restore = []
             for group, extra in collected.items():
                 # Merge the probe mass with the already-seen partial
                 # (recomputed from the sink's child caches).
@@ -485,8 +565,16 @@ class Mint:
                         f"probe for {group!r} returned {merged.count} of "
                         f"{self.group_totals[group]} readings"
                     )
-                bounds[group] = Bounds(exact, exact)
-            outcome = certify_top_k(bounds, self.k)
+                point = Bounds(exact, exact)
+                bounds[group] = point
+                if hot:
+                    self._sink_view.set(group, point)
+                    restore.append(group)
+            if hot:
+                self._probe_restore = tuple(restore)
+                outcome = self._sink_view.outcome()
+            else:
+                outcome = certify_top_k(bounds, self.k)
             if outcome.needs_probe:
                 raise ProtocolError("probe did not certify the result")
 
@@ -498,6 +586,7 @@ class Mint:
             algorithm=self.name,
             probed=probed,
             all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+            certification=outcome,
         )
         self.network.advance_epoch()
         return result
@@ -530,6 +619,8 @@ class Mint:
         children_of = network.tree.children
         parents = network.tree._parents
         ship_unicast = network._ship_unicast
+        sink_id = network.sink_id
+        sink_dirty = self._sink_dirty
         sort_key = lambda item: (-finalize(item[1]), gstr[item[0]])  # noqa: E731
         wire_key = lambda item: gstr[item[0]]  # noqa: E731  entry order
         with network.stats.phase("update"):
@@ -545,7 +636,6 @@ class Mint:
                     if contribution is None:
                         state.view = {}
                         state.withheld = {}
-                        state.gamma_current = None
                         if not reported:
                             continue
                         kept: dict[GroupKey, Partial] = {}
@@ -554,7 +644,6 @@ class Mint:
                         group = group_of[node_id]
                         state.view = kept = {group: contribution}
                         state.withheld = {}
-                        state.gamma_current = None
                         if (len(reported) == 1
                                 and reported.get(group) == contribution):
                             continue
@@ -576,7 +665,11 @@ class Mint:
                                        for g, p in changed]),
                         retractions=retractions,
                     )
-                    ship_unicast(node_id, parents[node_id], message)
+                    parent = parents[node_id]
+                    ship_unicast(node_id, parent, message)
+                    if parent == sink_id:
+                        sink_dirty.update(retractions)
+                        sink_dirty.update(g for g, _ in changed)
                     for g in retractions:
                         reported.pop(g, None)
                     for g, p in changed:
@@ -614,7 +707,6 @@ class Mint:
                     if child_gamma is not None and (
                             gamma is None or child_gamma > gamma):
                         gamma = child_gamma
-                state.gamma_current = gamma
                 # -- delta vs the parent's cache --------------------
                 # Only the delta is sorted (into the same wire order
                 # the reference path produces by sorting all of kept);
@@ -655,7 +747,17 @@ class Mint:
                 )
                 # Every node in the converge-cast order is alive and
                 # non-root, so the send_up guards are vacuous here.
-                ship_unicast(node_id, parents[node_id], message)
+                parent = parents[node_id]
+                ship_unicast(node_id, parent, message)
+                if parent == sink_id:
+                    sink_dirty.update(retractions)
+                    sink_dirty.update(group for group, _ in changed)
+                    if ship_gamma:
+                        # A new γ can move the bound of every group with
+                        # unseen mass under this child; the child's
+                        # subtree census is the conservative superset.
+                        sink_dirty.update(
+                            self.child_group_totals.get(node_id, ()))
                 # -- commit the parent-side cache -------------------
                 for group in retractions:
                     reported.pop(group, None)
@@ -697,6 +799,7 @@ class Mint:
         for state in self.states.values():
             state.reset()
         self.created = False
+        self._sink_cache = None
 
     def handle_topology_event(self, event) -> int:
         """Invalidate and re-prime only the subtree state churn touched.
@@ -719,6 +822,7 @@ class Mint:
             self.states.pop(event.node_id, None)
         elif event.joined:
             self.states[event.node_id] = MintNodeState()
+        self._sink_cache = None
         if not self.created:
             # Creation has not run yet; the first epoch will learn the
             # repaired topology from scratch anyway.
@@ -739,6 +843,7 @@ class Mint:
         clusters), so the sink can recount each sink-child subtree's
         per-group totals without any radio traffic.
         """
+        self._sink_cache = None
         self.group_totals = {}
         self.child_group_totals = {}
         for child in self.network.tree.children(self.network.sink_id):

@@ -8,10 +8,13 @@ exactness claims.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
 
 from ..errors import ValidationError
 from .aggregates import Aggregate, Partial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (certify
+    from .certify import CertificationOutcome  # imports RankedItem)
 
 
 def rank_key(key: Hashable, score: float) -> tuple:
@@ -51,6 +54,10 @@ class EpochResult:
         algorithm: Producing algorithm name (for panels and logs).
         probed: Number of probe/clean-up rounds the epoch needed.
         all_bounds: Certified intervals for every group (diagnostics).
+        certification: The sink's final
+            :class:`~repro.core.certify.CertificationOutcome` for the
+            epoch (certifying engines only — MINT and FILA attach it;
+            baselines that never certify leave it None).
     """
 
     epoch: int
@@ -60,6 +67,7 @@ class EpochResult:
     probed: int = 0
     all_bounds: Mapping[Hashable, tuple[float, float]] = field(
         default_factory=dict)
+    certification: "CertificationOutcome | None" = None
 
     @property
     def keys(self) -> tuple[Hashable, ...]:

@@ -25,6 +25,7 @@ from ..network import hotpath
 from ..network.messages import QueryMessage, ViewEntry, ViewUpdateMessage
 from ..network.simulator import Network
 from .aggregates import Aggregate, Partial, SortKeys
+from .delta import TopKView
 from .results import EpochResult, RankedItem, rank_key
 
 GroupKey = Hashable
@@ -58,6 +59,11 @@ class Tag:
         self._lift_memo: dict[float, Partial] = {}
         #: Hot-path memo of the participant tuple (see Mint._participants).
         self._participants_cache: tuple | None = None
+        #: Hot path: a ranking-only maintained view (k=None ranks all
+        #: groups). Group scores drift a little per epoch; reconciling
+        #: point deltas into the kept order beats re-sorting every
+        #: group from scratch each round.
+        self._rank_view = TopKView(self.k)
 
     def _participants(self) -> tuple[int, ...]:
         alive = self.network.alive_sensor_ids()
@@ -182,7 +188,8 @@ class Tag:
                 self.network.flood_down(lambda _: QueryMessage(query_id=1))
             self._disseminated = True
         contributions = self._acquire()
-        if hotpath.enabled():
+        hot = hotpath.enabled()
+        if hot:
             sink_view = self._run_aggregation_phase(contributions)
         else:
             partial_views: dict[int, dict[GroupKey, Partial]] = {}
@@ -218,11 +225,19 @@ class Tag:
                     else:
                         partial_views[node_id] = view
 
-        scored = sorted(
-            ((group, self.aggregate.finalize(partial))
-             for group, partial in sink_view.items()),
-            key=lambda pair: rank_key(pair[0], pair[1]),
-        )
+        if hot:
+            finalize = self.aggregate.finalize
+            self._rank_view.reconcile_scores(
+                {group: finalize(partial)
+                 for group, partial in sink_view.items()})
+            scored = [(group, interval.lb)
+                      for group, interval in self._rank_view.ranking()]
+        else:
+            scored = sorted(
+                ((group, self.aggregate.finalize(partial))
+                 for group, partial in sink_view.items()),
+                key=lambda pair: rank_key(pair[0], pair[1]),
+            )
         cut = scored if self.k is None else scored[:self.k]
         items = tuple(
             RankedItem(key=group, score=score, lb=score, ub=score)

@@ -17,6 +17,11 @@ the child exposing it. The invariant MINT maintains per edge:
     reported[g] is the exact partial for the mass it covers, and every
     reading of the subtree not covered by any ``reported`` entry lies
     in some pruned partial whose finalized value ≤ ``gamma_reported``.
+
+This module is *node-side* state only. The sink-side derived state —
+the per-group certified intervals, their ranking, τ and the ambiguous
+set — lives in the maintained :class:`~repro.core.delta.TopKView`
+each engine feeds on the hot path.
 """
 
 from __future__ import annotations
@@ -41,8 +46,6 @@ class MintNodeState:
     gamma_reported: float | None = None
     #: Tuples pruned at this node in the current epoch.
     withheld: dict[GroupKey, Partial] = field(default_factory=dict)
-    #: γ this node computed in the current epoch (before send decisions).
-    gamma_current: float | None = None
 
     def reset(self) -> None:
         """Forget everything (topology changed; creation phase re-runs)."""
@@ -50,7 +53,6 @@ class MintNodeState:
         self.reported.clear()
         self.withheld.clear()
         self.gamma_reported = None
-        self.gamma_current = None
 
 
 def max_gamma(*gammas: float | None) -> float | None:

@@ -48,6 +48,22 @@ class SavingsSample:
         """Per-epoch radio-energy saving vs the baseline, in percent."""
         return self._saving(self.radio_joules, self.baseline_radio_joules)
 
+    def plus(self, other: "SavingsSample", epoch: int) -> "SavingsSample":
+        """Component-wise total of two samples, stamped ``epoch`` —
+        the incremental step the panels' running totals accumulate by."""
+        return SavingsSample(
+            epoch=epoch,
+            messages=self.messages + other.messages,
+            baseline_messages=(self.baseline_messages
+                               + other.baseline_messages),
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+            baseline_payload_bytes=(self.baseline_payload_bytes
+                                    + other.baseline_payload_bytes),
+            radio_joules=self.radio_joules + other.radio_joules,
+            baseline_radio_joules=(self.baseline_radio_joules
+                                   + other.baseline_radio_joules),
+        )
+
     def as_dict(self) -> dict:
         """Raw costs plus derived savings, JSON-ready (the CLI's
         ``--format json`` serialisation of a panel sample)."""
@@ -146,6 +162,12 @@ class RecordedPanel:
 
     def __init__(self, samples: Iterable[SavingsSample]):
         self.samples: list[SavingsSample] = list(samples)
+        self._totals: SavingsSample | None = None
+        for sample in self.samples:
+            self._totals = (sample if self._totals is None
+                            else self._totals.plus(
+                                sample,
+                                epoch=max(self._totals.epoch, sample.epoch)))
 
     @classmethod
     def from_dicts(cls, dicts: "Iterable[dict]") -> "RecordedPanel":
@@ -161,11 +183,11 @@ class RecordedPanel:
     @property
     def cumulative(self) -> SavingsSample:
         """Totals over the recorded series (mirrors
-        :attr:`SystemPanel.cumulative`)."""
-        if not self.samples:
+        :attr:`SystemPanel.cumulative`) — pre-folded at construction,
+        O(1) per read."""
+        if self._totals is None:
             raise ValidationError("no epochs sampled yet")
-        return SystemPanel._summed(
-            self.samples, epoch=max(s.epoch for s in self.samples))
+        return self._totals
 
 
 class SystemPanel:
@@ -189,6 +211,9 @@ class SystemPanel:
         self._last_baseline = baseline.snapshot()
         self.samples: list[SavingsSample] = []
         self._epoch = 0
+        #: Running component-wise total, accumulated per sample so
+        #: :attr:`cumulative` is O(1) instead of re-summing the series.
+        self._totals: SavingsSample | None = None
 
     def sample(self) -> SavingsSample:
         """Close the current epoch and record its savings."""
@@ -207,6 +232,8 @@ class SystemPanel:
                                    + baseline_delta.rx_joules),
         )
         self.samples.append(entry)
+        self._totals = (entry if self._totals is None
+                        else self._totals.plus(entry, epoch=entry.epoch))
         self._last_system = system_now
         self._last_baseline = baseline_now
         self._epoch += 1
@@ -231,10 +258,11 @@ class SystemPanel:
 
     @property
     def cumulative(self) -> SavingsSample:
-        """Totals since the panel started observing."""
-        if not self.samples:
+        """Totals since the panel started observing (the running
+        accumulation — O(1), not a re-sum of the series)."""
+        if self._totals is None:
             raise ValidationError("no epochs sampled yet")
-        return self._summed(self.samples, epoch=self._epoch - 1)
+        return self._totals
 
     @staticmethod
     def aggregate(panels: "Iterable[SystemPanel]") -> SavingsSample:

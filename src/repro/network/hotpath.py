@@ -9,6 +9,14 @@ pass and repartition-order memo) — all of which are *semantically
 invisible*: with the caches on or off, every message, byte, joule and
 per-phase snapshot is identical.
 
+The switch also selects the sinks' certification strategy: on the hot
+path each session maintains an incremental
+:class:`~repro.core.delta.TopKView` (threshold, rank order and
+ambiguous set updated per delta); on the reference path every epoch
+calls the stateless :func:`~repro.core.certify.certify_top_k` oracle
+cold. ``tests/test_delta_equivalence.py`` proves the two byte-identical
+across engines and churn.
+
 This module owns the single switch that selects between the two modes:
 
 * **hot path** (the default) — caches enabled; this is what every

@@ -56,7 +56,9 @@ from .sensing.generators import RoomField
 #: backwards-incompatible change to the payload layout).
 #: /2: per-repeat timings, cpu_count + workers in the platform block,
 #: the aggregate-throughput section, and the shard-error envelope.
-SCHEMA = "kspot-perf/2"
+#: /3: the certifier microbench section (cold certify_top_k replay vs
+#: incremental TopKView over the recorded FILA certification stream).
+SCHEMA = "kspot-perf/3"
 
 #: The e11 workload: four concurrent monitoring queries ranking rooms
 #: by different aggregates plus one historic TJA pass.
@@ -226,6 +228,8 @@ class PerfReport:
     #: Shards that raised instead of reporting ({key, error} each);
     #: the CI tripwire fails on a non-empty envelope.
     shard_errors: list = field(default_factory=list)
+    #: The certifier microbench section (see :func:`measure_certifier`).
+    certifier: dict | None = None
 
     def sample_for(self, n_nodes: int) -> PerfSample | None:
         for sample in self.samples:
@@ -257,6 +261,7 @@ class PerfReport:
             "results": [sample.as_dict() for sample in self.samples],
             "aggregate": self.aggregate,
             "shard_errors": list(self.shard_errors),
+            "certifier": self.certifier,
         }
 
     def write(self, path: str | Path) -> Path:
@@ -444,6 +449,120 @@ def measure_fleet(n: int, epochs: int, repeats: int = 3, seed: int = 11,
     return _merge_size(results, n, epochs, compare_reference)
 
 
+def certifier_streams(n: int, epochs: int, seed: int = 11,
+                      k: int = 5) -> list[tuple[dict, int, bool]]:
+    """Record every cold ``certify_top_k`` call FILA's sink makes over
+    ``epochs`` monitoring rounds on the e11 fleet deployment.
+
+    FILA is the certifier's heaviest client (monitor pass, probe loop,
+    answer-time pass — up to three certifications per epoch over all
+    ``n`` node-groups), which makes its reference-path call stream the
+    honest workload for the cold-vs-incremental microbench. Returns
+    ``(bounds snapshot, k, require_exact_scores)`` per call, in call
+    order.
+    """
+    from .core import fila as fila_module
+    from .core.aggregates import make_aggregate
+
+    calls: list[tuple[dict, int, bool]] = []
+    real = fila_module.certify_top_k
+
+    def recorder(bounds, k_arg, tolerance=1e-9, require_exact_scores=True):
+        calls.append((dict(bounds), k_arg, require_exact_scores))
+        return real(bounds, k_arg, tolerance=tolerance,
+                    require_exact_scores=require_exact_scores)
+
+    previous = hotpath.enabled()
+    hotpath.set_enabled(False)
+    fila_module.certify_top_k = recorder
+    try:
+        scenario = fleet_scenario(n, seed=seed)
+        aggregate = make_aggregate("AVG", 0.0, 100.0)
+        engine = fila_module.Fila(scenario.network, aggregate, k,
+                                  attribute=scenario.attribute)
+        engine.run(epochs)
+    finally:
+        fila_module.certify_top_k = real
+        hotpath.set_enabled(previous)
+    return calls
+
+
+def measure_certifier(n: int = 400, epochs: int = 30, seed: int = 11,
+                      k: int = 5, repeats: int = 3) -> dict:
+    """Cold ``certify_top_k`` replay vs one persistent
+    :class:`~repro.core.delta.TopKView` over the recorded FILA stream.
+
+    The recorded stream yields both views of the workload: the full
+    bounds snapshot every cold call re-ranks, and the consecutive
+    per-call :class:`~repro.core.delta.BoundsDelta` — the weighted
+    delta batch the engines' dirty tracking hands the view for free on
+    the hot path (MINT's sink-dirty sets, FILA's per-node ``ensure``).
+    The incremental replay therefore times what the sink actually pays
+    per certification: a validated ``apply`` in O(|delta| · log N)
+    plus ``outcome``. Both replays produce
+    :class:`CertificationOutcome` sequences asserted equal (dataclass
+    equality — the equivalence proof runs on the measured stream
+    itself), then timed best-of-``repeats`` with interleaved
+    repetitions like the rest of the ladder.
+    """
+    from .core.certify import certify_top_k
+    from .core.delta import BoundsDelta, TopKView
+
+    calls = certifier_streams(n, epochs, seed=seed, k=k)
+    if not calls:
+        raise RuntimeError("certifier stream is empty")
+    if any(k_arg != k or require for _, k_arg, require in calls):
+        raise RuntimeError("certifier stream mixes certification modes")
+    deltas = []
+    previous: dict = {}
+    for bounds, _, _ in calls:
+        deltas.append(BoundsDelta.diff(previous, bounds))
+        previous = bounds
+
+    def replay_cold():
+        return [certify_top_k(bounds, k, require_exact_scores=False)
+                for bounds, _, _ in calls]
+
+    def replay_incremental():
+        view = TopKView(k, require_exact_scores=False)
+        outcomes = []
+        for delta in deltas:
+            view.apply(delta)
+            outcomes.append(view.outcome())
+        return outcomes
+
+    if replay_cold() != replay_incremental():
+        raise RuntimeError(
+            "incremental replay diverged from the cold certifier")
+
+    cold_times, incremental_times = [], []
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        replay_cold()
+        cold_times.append(time.perf_counter() - started)
+        gc.collect()
+        started = time.perf_counter()
+        replay_incremental()
+        incremental_times.append(time.perf_counter() - started)
+    cold, incremental = min(cold_times), min(incremental_times)
+    return {
+        "workload": "fila-certification-stream",
+        "n_groups": n,
+        "k": k,
+        "epochs": epochs,
+        "certifications": len(calls),
+        "delta_entries": sum(len(delta) for delta in deltas),
+        "repeats": repeats,
+        "cold_seconds": cold,
+        "incremental_seconds": incremental,
+        "cold_per_sec": len(calls) / cold if cold else 0.0,
+        "incremental_per_sec": (len(calls) / incremental
+                                if incremental else 0.0),
+        "speedup": cold / incremental if incremental else 0.0,
+    }
+
+
 def run_perf(sizes: Sequence[int] = FLEET_SIZES,
              repeats: int = 3, seed: int = 11,
              churn: str | None = None, churn_seed: int = 0,
@@ -509,4 +628,13 @@ def run_perf(sizes: Sequence[int] = FLEET_SIZES,
                 sample.hot.epochs_per_sec if sample else None)
             all_results.extend(throughput_results)
         report.shard_errors = shard_errors(all_results)
+    # The certifier microbench rides every ladder run (serial,
+    # in-process): cold certify_top_k replay vs the incremental
+    # TopKView on the recorded FILA stream at N=400, the size the CI
+    # regression gate watches (a smaller ladder caps the stream at its
+    # own largest size so unit-scale runs stay unit-fast).
+    certifier_n = 400 if any(n >= 400 for n in sizes) else max(sizes)
+    report.certifier = measure_certifier(
+        n=certifier_n, epochs=12 if quick else 30, seed=seed,
+        repeats=repeats)
     return report

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.aggregates import Bounds, make_aggregate
-from repro.core.certify import certify_top_k
+from repro.core.certify import CertificationOutcome, certify_top_k
 from repro.core.results import (
     RankedItem,
     is_valid_top_k,
@@ -98,6 +98,95 @@ class TestCertify:
             expected = sorted(groups.items(),
                               key=lambda kv: rank_key(kv[0], kv[1]))[:k]
             assert [i.key for i in resolved.items] == [g for g, _ in expected]
+
+
+class TestCertifyBoundaries:
+    """Edge behaviour the incremental view must reproduce bit-for-bit
+    (see tests/test_delta_equivalence.py for the property-level proof).
+    """
+
+    def test_tie_within_tolerance_certifies(self):
+        # B's ub reaches into τ's tolerance band, but a displacement
+        # must *exceed* the tolerance to block certification.
+        outcome = certify_top_k(
+            {"A": point(50.0), "B": point(50.0 + 5e-10)}, k=1,
+            tolerance=1e-9)
+        assert outcome.certified
+        assert set(outcome.ambiguous) == {"A", "B"}
+
+    def test_tie_beyond_tolerance_blocks(self):
+        outcome = certify_top_k(
+            {"A": Bounds(50.0, 52.0), "B": point(51.0)}, k=1,
+            tolerance=1e-9)
+        assert not outcome.certified
+
+    def test_tied_lower_bounds_break_by_key_string(self):
+        # rank_key breaks exact score ties by str(key) ascending.
+        outcome = certify_top_k(
+            {"B": point(50.0), "A": point(50.0), "C": point(10.0)}, k=1)
+        assert outcome.items[0].key == "A"
+        assert outcome.threshold == 50.0
+
+    def test_k_at_group_count(self):
+        outcome = certify_top_k(
+            {"A": point(3.0), "B": point(2.0), "C": point(1.0)}, k=3)
+        assert outcome.certified
+        assert [i.key for i in outcome.items] == ["A", "B", "C"]
+        assert outcome.threshold == 1.0
+
+    def test_k_beyond_group_count_with_interval(self):
+        # Everyone is chosen, so nothing can displace — but MINT's mode
+        # still demands point scores for the chosen groups.
+        bounds = {"A": point(5.0), "B": Bounds(1.0, 3.0)}
+        loose = certify_top_k(bounds, k=4, require_exact_scores=False)
+        strict = certify_top_k(bounds, k=4, require_exact_scores=True)
+        assert loose.certified
+        assert not strict.certified
+        assert len(loose.items) == len(strict.items) == 2
+
+    def test_empty_bounds_always_rejected(self):
+        for require in (True, False):
+            with pytest.raises(ValidationError):
+                certify_top_k({}, k=3, require_exact_scores=require)
+
+    def test_require_exact_scores_flips_on_interval_winner(self):
+        # The chosen interval cannot be displaced (ub of B below A's
+        # lb), so only the exactness requirement separates the modes.
+        bounds = {"A": Bounds(80.0, 90.0), "B": point(10.0)}
+        assert certify_top_k(bounds, k=1,
+                             require_exact_scores=False).certified
+        assert not certify_top_k(bounds, k=1,
+                                 require_exact_scores=True).certified
+
+    def test_point_winner_certifies_in_both_modes(self):
+        bounds = {"A": point(90.0), "B": point(10.0)}
+        for require in (True, False):
+            assert certify_top_k(
+                bounds, k=1, require_exact_scores=require).certified
+
+    def test_interval_within_tolerance_counts_as_exact(self):
+        outcome = certify_top_k(
+            {"A": Bounds(90.0, 90.0 + 5e-10), "B": point(10.0)}, k=1,
+            tolerance=1e-9, require_exact_scores=True)
+        assert outcome.certified
+
+
+class TestOutcomeRoundTrip:
+    def test_as_dict_round_trips(self):
+        outcome = certify_top_k(
+            {"A": Bounds(40.0, 95.0), "B": point(50.0), "C": point(1.0)},
+            k=2)
+        data = outcome.as_dict()
+        assert data["needs_probe"] == outcome.needs_probe
+        assert CertificationOutcome.from_dict(data) == outcome
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        outcome = certify_top_k({"A": point(1.0)}, k=1)
+        rebuilt = CertificationOutcome.from_dict(
+            json.loads(json.dumps(outcome.as_dict())))
+        assert rebuilt == outcome
 
 
 class TestOracle:

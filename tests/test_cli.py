@@ -206,11 +206,35 @@ class TestJsonFormat:
         expected = [{"epoch": r.epoch, "exact": r.exact,
                      "probed": r.probed,
                      "items": [{"key": i.key, "score": i.score}
-                               for i in r.items]}
+                               for i in r.items],
+                     "certification": (None if r.certification is None
+                                       else r.certification.as_dict())}
                     for r in monitor.results]
         assert data["sessions"][0]["results"] == expected
         assert data["sessions"][0]["stats"]["messages"] \
             == monitor.stats.messages
+
+    def test_certification_round_trips(self, tmp_path, capsys):
+        """Certified answers survive the JSON surface like savings do:
+        as_dict → json → from_dict rebuilds the engine's outcome."""
+        from repro.api import Deployment, EpochDriver
+        from repro.core.certify import CertificationOutcome
+        from repro.scenarios import grid_rooms_scenario
+
+        data = self._workload_json(tmp_path, capsys)
+        scenario = grid_rooms_scenario(side=4, rooms_per_axis=2, seed=3)
+        deployment = Deployment.from_scenario(scenario)
+        monitor = deployment.submit(
+            "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY "
+            "roomid EPOCH DURATION 1 min")
+        EpochDriver(deployment).run(6)
+        serialized = data["sessions"][0]["results"]
+        assert len(serialized) == len(monitor.results)
+        for entry, result in zip(serialized, monitor.results):
+            assert result.certification is not None  # MINT certifies
+            rebuilt = CertificationOutcome.from_dict(
+                entry["certification"])
+            assert rebuilt == result.certification
 
     def test_workload_json_baseline_and_churn_sections(self, tmp_path,
                                                        capsys):

@@ -61,10 +61,8 @@ class TestMintNodeState:
         state.reported["A"] = Partial(1.0, 1)
         state.withheld["B"] = Partial(2.0, 1)
         state.gamma_reported = 5.0
-        state.gamma_current = 4.0
         state.reset()
         assert not state.view
         assert not state.reported
         assert not state.withheld
         assert state.gamma_reported is None
-        assert state.gamma_current is None

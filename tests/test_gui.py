@@ -175,6 +175,30 @@ class TestSystemPanel:
         with pytest.raises(ValidationError):
             panel.cumulative
 
+    def test_running_totals_match_series_resum(self):
+        """The O(1) accumulated cumulative equals a from-scratch
+        component-wise re-sum of the sample series at every epoch."""
+        system, baseline = NetworkStats(), NetworkStats()
+        panel = SystemPanel(system, baseline)
+        for step in range(1, 6):
+            system.record("x", step, 10 * step, 17, 1e-3 * step, 0.0)
+            baseline.record("x", step, 40 * step, 47, 4e-3 * step, 0.0)
+            panel.sample()
+            assert panel.cumulative == SystemPanel._summed(
+                panel.samples, epoch=panel.samples[-1].epoch)
+
+    def test_recorded_panel_totals_match_resum(self):
+        from repro.gui.stats import RecordedPanel, SavingsSample
+
+        samples = [
+            SavingsSample(epoch=e, messages=e + 1, baseline_messages=9,
+                          payload_bytes=2 * e, baseline_payload_bytes=30,
+                          radio_joules=0.5 * e, baseline_radio_joules=3.0)
+            for e in range(4)
+        ]
+        panel = RecordedPanel(samples)
+        assert panel.cumulative == SystemPanel._summed(samples, epoch=3)
+
 
 class TestScenarioFiles:
     def make_config(self):

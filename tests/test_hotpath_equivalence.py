@@ -55,6 +55,19 @@ def ledger_signature(network):
     }
 
 
+def certification_signature(outcome):
+    """Every observable of a CertificationOutcome, as comparable data
+    (None for engines that never certify)."""
+    if outcome is None:
+        return None
+    return (
+        outcome.certified,
+        outcome.threshold,
+        outcome.ambiguous,
+        tuple((i.key, i.score, i.lb, i.ub) for i in outcome.items),
+    )
+
+
 def answers_of(handle):
     if handle.is_historic:
         result = handle.historic_result
@@ -63,7 +76,8 @@ def answers_of(handle):
         return tuple((i.key, i.score, i.lb, i.ub) for i in result.items)
     return tuple(
         (r.epoch, r.exact, r.probed,
-         tuple((i.key, i.score, i.lb, i.ub) for i in r.items))
+         tuple((i.key, i.score, i.lb, i.ub) for i in r.items),
+         certification_signature(r.certification))
         for r in handle.results
     )
 

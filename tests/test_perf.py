@@ -54,13 +54,20 @@ class TestMeasurement:
         report = run_perf(sizes=(9,), repeats=1,
                           epochs_for={9: 3})
         data = report.as_dict()
-        assert data["schema"] == SCHEMA == "kspot-perf/2"
+        assert data["schema"] == SCHEMA == "kspot-perf/3"
         assert data["workload"] == "e11-multiquery"
         assert len(data["queries"]) == 5
         assert data["platform"]["cpu_count"] >= 1
         assert data["platform"]["workers"] == 1
         assert data["aggregate"] is None
         assert data["shard_errors"] == []
+        # The certifier microbench rides every run, capped at the
+        # ladder's own largest size for unit-scale invocations.
+        certifier = data["certifier"]
+        assert certifier["n_groups"] == 9
+        assert certifier["certifications"] > 0
+        assert certifier["speedup"] > 0
+        assert certifier["incremental_per_sec"] > 0
         (sample,) = data["results"]
         assert sample["n_nodes"] == 9
         assert sample["epochs"] == 3
@@ -229,7 +236,7 @@ class TestRegressionGate:
     def test_regression_beyond_tolerance_fails(self, tmp_path):
         assert self._run_gate(tmp_path, 1.5, 2.0) == 1
 
-    def test_write_refreshes_trajectory(self, tmp_path):
+    def _load_gate(self):
         import importlib.util
         from pathlib import Path
 
@@ -239,12 +246,60 @@ class TestRegressionGate:
             / "benchmarks" / "check_perf_regression.py")
         gate = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(gate)
+        return gate
 
+    def test_write_refreshes_trajectory(self, tmp_path):
+        gate = self._load_gate()
         report = tmp_path / "BENCH_perf.json"
-        report.write_text(json.dumps(self._report(2.0)))
+        payload = self._report(2.0)
+        payload["certifier"] = {"n_groups": 400, "speedup": 2.5,
+                                "certifications": 87}
+        report.write_text(json.dumps(payload))
         trajectory = tmp_path / "trajectory.json"
         assert gate.main([str(report), "--trajectory", str(trajectory),
                           "--write"]) == 0
         data = json.loads(trajectory.read_text())
         assert data["schema"] == gate.TRAJECTORY_SCHEMA
         assert data["results"][0]["speedup_vs_reference"] == 2.0
+        assert data["certifier"] == {"n_groups": 400, "speedup": 2.5}
+
+    def _run_certifier_gate(self, tmp_path, gate, fresh, committed):
+        report = tmp_path / "BENCH_perf.json"
+        payload = self._report(2.0)
+        if fresh is not None:
+            payload["certifier"] = fresh
+        report.write_text(json.dumps(payload))
+        trajectory = tmp_path / "trajectory.json"
+        committed_payload = self._report(2.0)
+        if committed is not None:
+            committed_payload["certifier"] = committed
+        trajectory.write_text(json.dumps(committed_payload))
+        return gate.main([str(report), "--trajectory", str(trajectory)])
+
+    def test_certifier_within_tolerance_passes(self, tmp_path):
+        gate = self._load_gate()
+        assert self._run_certifier_gate(
+            tmp_path, gate,
+            fresh={"n_groups": 400, "speedup": 2.4},
+            committed={"n_groups": 400, "speedup": 2.8}) == 0
+
+    def test_certifier_regression_fails(self, tmp_path):
+        gate = self._load_gate()
+        assert self._run_certifier_gate(
+            tmp_path, gate,
+            fresh={"n_groups": 400, "speedup": 1.1},
+            committed={"n_groups": 400, "speedup": 2.8}) == 1
+
+    def test_certifier_absent_from_trajectory_skips(self, tmp_path):
+        gate = self._load_gate()
+        assert self._run_certifier_gate(
+            tmp_path, gate,
+            fresh={"n_groups": 400, "speedup": 2.8},
+            committed=None) == 0
+
+    def test_certifier_missing_from_report_is_hard_error(self, tmp_path):
+        gate = self._load_gate()
+        with pytest.raises(SystemExit):
+            self._run_certifier_gate(
+                tmp_path, gate, fresh=None,
+                committed={"n_groups": 400, "speedup": 2.8})
