@@ -1,0 +1,76 @@
+"""E16 — columnar epoch kernel: vectorized sensing vs the scalar hot path.
+
+The columnar PR restructures the epoch inner loop around
+structure-of-arrays batch sampling (:mod:`repro.network.columnar`):
+one ``batch_values`` call per field covers the whole fleet, the
+per-``(field, modality)`` sampling plan is cached against the alive
+tuple's identity, and ``ZipfEventField`` jitter comes from a
+counter-based hash RNG that vectorizes bit-identically under numpy.
+This benchmark prices that claim on the workload the kernel was built
+for: :func:`repro.perf.columnar_fleet` builds a square grid over one
+shared Zipf field monitored by a FILA MAX top-25 session, and
+:func:`repro.perf.measure_columnar` drives it twice —
+
+* **scalar** (``columnar.scalar_path()``): the PR 6 fused hot path,
+  one ``field.value`` call per node per epoch,
+* **columnar** (the default): the batched kernel,
+
+with byte-identical result streams (items, exactness, bounds), energy
+ledgers and sample counts asserted on fresh deployments before
+anything is timed. Timing is chunked-min with modes interleaved chunk
+by chunk, the noise discipline ``docs/PERF.md`` documents. The
+acceptance bound holds the columnar kernel to **≥ 2× epochs/sec at
+N = 400** over the scalar hot path — the floor the ISSUE sets and the
+CI regression gate (``check_perf_regression.py``) keeps honest
+thereafter.
+"""
+
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
+from repro.perf import measure_columnar
+
+from conftest import once
+
+#: Fleet sizes priced (400 is the gated size).
+SIZES = (100, 400)
+CHUNKS = 20
+CHUNK_EPOCHS = 10
+SEED = 11
+
+#: The acceptance bound at N=400 (the ISSUE's floor).
+MIN_SPEEDUP = 2.0
+
+
+def run_experiment():
+    return [measure_columnar(n=n, chunks=CHUNKS,
+                             chunk_epochs=CHUNK_EPOCHS, seed=SEED)
+            for n in SIZES]
+
+
+def test_e16_columnar_kernel(benchmark, table):
+    measurements = once(benchmark, run_experiment)
+
+    rows = []
+    for m in measurements:
+        rows.append([m["n_nodes"], m["backend"],
+                     f"{m['epochs_per_sec_scalar']:.0f}",
+                     f"{m['epochs_per_sec_columnar']:.0f}",
+                     f"{m['speedup']:.2f}x"])
+    table(f"E16: columnar epoch kernel (Zipf FILA, min over {CHUNKS} "
+          f"chunks of {CHUNK_EPOCHS} epochs)",
+          ["nodes", "backend", "scalar epochs/s",
+           "columnar epochs/s", "speedup"],
+          rows)
+
+    # measure_columnar raises if the columnar stream diverges from the
+    # scalar hot path's, so reaching here already proves equivalence
+    # on the measured workload; the gate below is the throughput floor.
+    at_400 = next(m for m in measurements if m["n_nodes"] == 400)
+    assert at_400["speedup"] >= MIN_SPEEDUP, (
+        f"columnar kernel at N=400 is only {at_400['speedup']:.2f}x "
+        f"over the scalar hot path (floor {MIN_SPEEDUP:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

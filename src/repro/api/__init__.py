@@ -17,19 +17,27 @@ Three composable layers replace the old ``KSpotServer`` god-object:
   and push subscriptions (:meth:`~SessionHandle.on_result` /
   :meth:`~SessionHandle.on_recovery`).
 
-The ninety-second tour::
+The ninety-second tour (doctest-checked by ``tests/test_doctests.py``
+— the example below runs, and its output is pinned, on every CI run):
 
-    from repro.api import Deployment, EpochDriver
-    from repro.scenarios import conference_scenario
+    >>> from repro.api import Deployment, EpochDriver
+    >>> from repro.scenarios import conference_scenario
+    >>> deployment = Deployment.from_scenario(conference_scenario())
+    >>> driver = EpochDriver(deployment)
+    >>> handle = deployment.submit(
+    ...     "SELECT TOP 1 roomid, MAX(sound) FROM sensors "
+    ...     "GROUP BY roomid EPOCH DURATION 1 min")
+    >>> for result in handle.watch(driver, epochs=3):
+    ...     print(result.epoch,
+    ...           [(i.key, round(i.score, 1)) for i in result.items],
+    ...           result.exact)
+    0 [('ConferenceRoomA', 57.1)] True
+    1 [('ConferenceRoomA', 60.6)] True
+    2 [('ConferenceRoomA', 55.7)] True
 
-    deployment = Deployment.from_scenario(conference_scenario())
-    driver = EpochDriver(deployment)
-    handle = deployment.submit(\"\"\"
-        SELECT TOP 3 roomid, AVERAGE(sound)
-        FROM sensors GROUP BY roomid EPOCH DURATION 1 min
-    \"\"\")
-    for result in handle.watch(driver, epochs=10):
-        print(result.epoch, result.keys, result.exact)
+(Determinism is the simulator's contract: the scenario seed pins every
+reading and loss draw, on either the hot or reference path — see
+``tests/test_hotpath_equivalence.py``.)
 
 Errors raised by this layer live in :mod:`repro.errors` and are
 re-exported here: :class:`SessionError` (base of the session

@@ -182,6 +182,9 @@ class TopKView:
         #: the only state between certifications, so an unchanged epoch
         #: answers in O(1) (outcomes are frozen, sharing is safe).
         self._cached_outcome: CertificationOutcome | None = None
+        #: Last plain-tuple bounds snapshot (``EpochResult.all_bounds``
+        #: shape), same validity rule as the outcome cache.
+        self._cached_snapshot: dict | None = None
 
     # -- mapping surface ------------------------------------------------
 
@@ -190,6 +193,19 @@ class TopKView:
         """The maintained per-group intervals (do not mutate: every
         write must go through the delta surface to keep the orders)."""
         return self._bounds
+
+    def bounds_snapshot(self) -> dict:
+        """``{group: (lb, ub)}`` over the whole view — the
+        ``EpochResult.all_bounds`` payload — memoized until the next
+        mutation, so an epoch that changed nothing reuses the dict
+        instead of re-walking N groups. Treat as read-only (shared
+        across results, like the frozen outcome)."""
+        snapshot = self._cached_snapshot
+        if snapshot is None:
+            snapshot = self._cached_snapshot = {
+                group: (interval.lb, interval.ub)
+                for group, interval in self._bounds.items()}
+        return snapshot
 
     def __len__(self) -> int:
         return len(self._bounds)
@@ -212,6 +228,7 @@ class TopKView:
         _insert(self._by_lb, (-new.lb, gstr, group))
         _insert(self._by_ub, (new.ub, gstr, group))
         self._cached_outcome = None
+        self._cached_snapshot = None
 
     def ensure(self, group: GroupKey, lb: float, ub: float) -> bool:
         """Converge one group to ``[lb, ub]``; True when it changed.
@@ -234,6 +251,7 @@ class TopKView:
         self._pop(self._by_lb, (-old.lb, gstr), group)
         self._pop(self._by_ub, (old.ub, gstr), group)
         self._cached_outcome = None
+        self._cached_snapshot = None
         return True
 
     @staticmethod
@@ -320,6 +338,7 @@ class TopKView:
             ((interval.ub, gstr[group], group)
              for group, interval in items), key=_order_key)
         self._cached_outcome = None
+        self._cached_snapshot = None
 
     def reconcile(self, new_bounds: Mapping[GroupKey, Bounds]
                   ) -> BoundsDelta:

@@ -270,12 +270,11 @@ class KSpotEngine:
         shared deployment boards that already fired this epoch are not
         re-sampled."""
         nodes = self.network.nodes
-        epoch = self.network.epoch
         attribute = self.plan.attribute
-        for node_id in self.participants:
-            node = nodes[node_id]
-            if node.alive:
-                node.read(attribute, epoch)
+        self.network.read_many(
+            [node_id for node_id in self.participants
+             if nodes[node_id].alive],
+            attribute)
 
     def fill_windows(self, epochs: int | None = None) -> None:
         """Acquisition stage: sample & buffer locally, radio silent."""

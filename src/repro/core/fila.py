@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from ..errors import ValidationError
-from ..network import hotpath
+from ..network import columnar, hotpath
 from ..network.messages import (
     FilterReportMessage,
     FilterUpdateMessage,
@@ -33,6 +33,42 @@ from .aggregates import Aggregate, Bounds
 from .certify import certify_top_k
 from .delta import TopKView
 from .results import EpochResult, rank_key
+
+
+class _FilaColumns:
+    """One session's structure-of-arrays mirror of its filter state.
+
+    Parallel columns aligned to the deployment's alive-id tuple: the
+    installed filter interval per row (NaN = none), the last exactly-
+    known value per row (NaN = none), and the ``synced`` mask — True
+    iff the certification view's bound for that row *is* its filter
+    interval, which is exactly the condition under which the scalar
+    monitor / answer passes would re-``ensure`` a value the view
+    already holds (a proven no-op). The mask helpers in
+    :mod:`repro.network.columnar` turn those no-op visits into
+    whole-column skips. Rebuilt (all-unsynced — always safe, the next
+    pass just visits every row once) whenever the id tuple's identity,
+    the backend, or out-of-band filter state changes.
+    """
+
+    __slots__ = ("ids", "index", "backend", "flt_lo", "flt_hi",
+                 "synced", "known")
+
+    def __init__(self, ids: tuple[int, ...],
+                 filters: Mapping[int, tuple[float, float]],
+                 known: Mapping[int, float]):
+        self.ids = ids
+        self.index = {node_id: row for row, node_id in enumerate(ids)}
+        self.backend = columnar.backend()
+        nan = columnar.nan()
+        intervals = [filters.get(node_id) for node_id in ids]
+        self.flt_lo = columnar.float_column(
+            [f[0] if f is not None else nan for f in intervals])
+        self.flt_hi = columnar.float_column(
+            [f[1] if f is not None else nan for f in intervals])
+        self.synced = columnar.bool_column(len(ids), False)
+        self.known = columnar.float_column(
+            [known.get(node_id, nan) for node_id in ids])
 
 
 class Fila:
@@ -72,6 +108,9 @@ class Fila:
         #: violations, probes and filter reinstalls, typically a
         #: handful per epoch.
         self._view = TopKView(k, require_exact_scores=False)
+        #: Columnar kernel state; None whenever the last epoch ran a
+        #: scalar pass (columns are rebuilt unsynced on reactivation).
+        self._cols: _FilaColumns | None = None
 
     # ------------------------------------------------------------------
     # Filter management
@@ -143,9 +182,67 @@ class Fila:
             installed += 1
         return installed
 
+    def _install_filters_columnar(self, chosen: set[int], boundary: float,
+                                  exact_values: Mapping[int, float],
+                                  cols: _FilaColumns) -> int:
+        """The column-mask form of :meth:`_install_filters`.
+
+        Whole-column acceptability (:func:`columnar.acceptable_filters`)
+        plus a sparse exact-value containment fix-up replace the
+        all-node scalar scan; only the rows
+        :func:`columnar.pending_install_rows` singles out are visited,
+        in ascending id order — the same nodes the scalar pass would
+        reinstall, shipping the same messages in the same order (only
+        alive nodes have rows, and the scalar pass skips dead ones).
+        """
+        ids = cols.ids
+        index = cols.index
+        agg_lo, agg_hi = self.aggregate.lo, self.aggregate.hi
+        chosen_mask = columnar.bool_column(len(ids), False)
+        for node_id in chosen:
+            row = index.get(node_id)
+            if row is not None:
+                chosen_mask[row] = True
+        acceptable = columnar.acceptable_filters(
+            cols.flt_lo, cols.flt_hi, chosen_mask, boundary, agg_lo, agg_hi)
+        filters = self.filters
+        for node_id, value in exact_values.items():
+            row = index.get(node_id)
+            if row is None or not acceptable[row]:
+                continue
+            lo, hi = filters[node_id]
+            if not (lo <= value <= hi):
+                acceptable[row] = False
+        installed = 0
+        unicast_from_sink = self.network.unicast_from_sink
+        flt_lo, flt_hi, synced = cols.flt_lo, cols.flt_hi, cols.synced
+        for row in columnar.pending_install_rows(
+                flt_lo, flt_hi, chosen_mask, acceptable,
+                boundary, agg_lo, agg_hi):
+            node_id = ids[row]
+            new_filter = ((boundary, agg_hi) if chosen_mask[row]
+                          else (agg_lo, boundary))
+            unicast_from_sink(
+                node_id, FilterUpdateMessage(
+                    intervals=((node_id, *new_filter),)))
+            filters[node_id] = new_filter
+            flt_lo[row], flt_hi[row] = new_filter
+            synced[row] = False
+            installed += 1
+        return installed
+
     # ------------------------------------------------------------------
     # Epoch driver
     # ------------------------------------------------------------------
+
+    def _columns(self, ids: tuple[int, ...]) -> _FilaColumns:
+        """This session's columns, rebuilt when stale (id tuple or
+        backend changed, or a scalar pass ran in between)."""
+        cols = self._cols
+        if (cols is None or cols.ids is not ids
+                or cols.backend != columnar.backend()):
+            cols = self._cols = _FilaColumns(ids, self.filters, self.known)
+        return cols
 
     def _setup(self, readings: Mapping[int, float]) -> None:
         with self.network.stats.phase("setup"):
@@ -202,6 +299,51 @@ class Fila:
         self._drop_stale_view_nodes(readings)
         return view.bounds
 
+    def _run_monitor_columnar(self, readings: Mapping[int, float],
+                              values, cols: _FilaColumns
+                              ) -> Mapping[int, Bounds]:
+        """The monitoring pass over columns (columnar kernel).
+
+        :func:`columnar.pending_monitor_rows` picks out, in one
+        whole-column operation, exactly the rows whose scalar visit
+        would do real work — a violation report or a view bound that
+        is not already the filter interval; every skipped row's visit
+        is a proven no-op (see the helper's contract). Visited rows
+        run the scalar body verbatim, so reports ship in the same
+        ascending-id order with the same bytes.
+        """
+        network = self.network
+        epoch = network.epoch
+        ids = cols.ids
+        filters_get = self.filters.get
+        known = self.known
+        known_col = cols.known
+        synced = cols.synced
+        unicast_to_sink = network.unicast_to_sink
+        view = self._view
+        ensure = view.ensure
+        with network.stats.phase("monitor"):
+            for row in columnar.pending_monitor_rows(
+                    values, cols.flt_lo, cols.flt_hi, synced):
+                node_id = ids[row]
+                value = readings[node_id]
+                current = filters_get(node_id)
+                if (current is not None
+                        and current[0] <= value <= current[1]):
+                    ensure(node_id, current[0], current[1])
+                    synced[row] = True
+                    continue
+                unicast_to_sink(
+                    node_id, FilterReportMessage(
+                        epoch=epoch,
+                        entries=(ViewEntry(node_id, value, 1),)))
+                known[node_id] = value
+                known_col[row] = value
+                ensure(node_id, value, value)
+                synced[row] = False
+        self._drop_stale_view_nodes(readings)
+        return view.bounds
+
     def _drop_stale_view_nodes(self, readings: Mapping[int, float]) -> None:
         """Retract view entries for nodes no longer read (deaths the
         session's topology handler did not see, e.g. engine-direct
@@ -221,17 +363,26 @@ class Fila:
 
     def run_epoch(self) -> EpochResult:
         """One monitoring round: violations, certification, probes."""
-        readings = {
-            node_id: self.network.node(node_id).read(
-                self.attribute, self.network.epoch)
-            for node_id in self.network.alive_sensor_ids()
-        }
+        network = self.network
+        ids = network.alive_sensor_ids()
+        readings = network.read_many(ids, self.attribute)
         probed = 0
         hot = hotpath.enabled()
+        cols = values = None
+        if hot and columnar._enabled and self._setup_done:
+            cols = self._columns(ids)
+            values = network.reading_column(ids, self.attribute)
+            if values is None:
+                values = columnar.float_column(
+                    [readings[node_id] for node_id in ids])
+        else:
+            self._cols = None
         if not self._setup_done:
             self._setup(readings)
         else:
-            if hot:
+            if cols is not None:
+                bounds = self._run_monitor_columnar(readings, values, cols)
+            elif hot:
                 bounds = self._run_monitor_phase(readings)
             else:
                 with self.network.stats.phase("monitor"):
@@ -279,6 +430,11 @@ class Fila:
                                     node_id, readings[node_id], 1),)))
                         value = readings[node_id]
                         self.known[node_id] = value
+                        if cols is not None:
+                            row = cols.index.get(node_id)
+                            if row is not None:
+                                cols.known[row] = value
+                                cols.synced[row] = False
                         if hot:
                             # Never item-assign into view.bounds — the
                             # collapse must go through the delta surface
@@ -292,19 +448,49 @@ class Fila:
             # Re-partition the filters around the certified cut.
             chosen = {item.key for item in outcome.items}
             chosen_floor = min(bounds[n].lb for n in chosen)
-            others = [n for n in bounds if n not in chosen]
-            if others:
-                others_ceiling = max(bounds[n].ub for n in others)
-                boundary = self._choose_boundary(chosen_floor,
-                                                 others_ceiling)
+            if cols is not None:
+                # Post-monitor every row's upper bound is its filter
+                # ceiling (synced) or its exact reading, so the
+                # non-chosen maximum reduces over one column.
+                others_ceiling = columnar.masked_ceiling(
+                    values, cols.flt_hi, cols.synced,
+                    [cols.index[n] for n in chosen if n in cols.index])
+                boundary = (self._choose_boundary(chosen_floor,
+                                                  others_ceiling)
+                            if others_ceiling is not None
+                            else self.boundary)
             else:
-                boundary = self.boundary
+                others = [n for n in bounds if n not in chosen]
+                if others:
+                    others_ceiling = max(bounds[n].ub for n in others)
+                    boundary = self._choose_boundary(chosen_floor,
+                                                     others_ceiling)
+                else:
+                    boundary = self.boundary
             self.boundary = boundary
-            fresh = {n: self.known[n] for n in bounds
-                     if bounds[n].exact and n in self.known}
-            with self.network.stats.phase("filter_update"):
-                self._install_filters(chosen, boundary,
-                                      exact_values=fresh)
+            if cols is not None and self.filters:
+                known = self.known
+                fresh = {}
+                for row in columnar.exact_rows(cols.flt_lo, cols.flt_hi,
+                                               cols.synced):
+                    node_id = ids[row]
+                    value = known.get(node_id)
+                    if value is not None:
+                        fresh[node_id] = value
+                with self.network.stats.phase("filter_update"):
+                    self._install_filters_columnar(chosen, boundary,
+                                                   fresh, cols)
+            else:
+                if cols is not None:
+                    # Filter table emptied out-of-band (churn swept
+                    # every install): the scalar repartition rebuilds
+                    # it from ``known``; columns are stale after.
+                    cols = self._cols = None
+                fresh = {n: self.known[n] for n in bounds
+                         if bounds[n].exact and n in self.known}
+                with self.network.stats.phase("filter_update"):
+                    self._install_filters(chosen, boundary,
+                                          exact_values=fresh)
 
         # Build the answer from current knowledge.
         known_get = self.known.get
@@ -316,15 +502,37 @@ class Fila:
             view = self._view
             ensure = view.ensure
             lo, hi = self.aggregate.lo, self.aggregate.hi
-            for node_id, value in readings.items():
-                if known_get(node_id) == value:
-                    ensure(node_id, value, value)
-                else:
-                    current = filters_get(node_id)
-                    if current is None:
-                        ensure(node_id, lo, hi)
+            if cols is not None:
+                # Whole-column skip of the rows whose scalar visit
+                # would re-ensure the filter interval the view already
+                # holds (non-exact, synced, filter installed).
+                ids_tuple = cols.ids
+                synced = cols.synced
+                for row in columnar.pending_answer_rows(
+                        values, cols.known, cols.flt_lo, synced):
+                    node_id = ids_tuple[row]
+                    value = readings[node_id]
+                    if known_get(node_id) == value:
+                        ensure(node_id, value, value)
+                        synced[row] = False
                     else:
-                        ensure(node_id, current[0], current[1])
+                        current = filters_get(node_id)
+                        if current is None:
+                            ensure(node_id, lo, hi)
+                            synced[row] = False
+                        else:
+                            ensure(node_id, current[0], current[1])
+                            synced[row] = True
+            else:
+                for node_id, value in readings.items():
+                    if known_get(node_id) == value:
+                        ensure(node_id, value, value)
+                    else:
+                        current = filters_get(node_id)
+                        if current is None:
+                            ensure(node_id, lo, hi)
+                        else:
+                            ensure(node_id, current[0], current[1])
             self._drop_stale_view_nodes(readings)
             bounds = view.bounds
             outcome = view.outcome()
@@ -346,7 +554,8 @@ class Fila:
             exact=outcome.certified,
             algorithm=self.name,
             probed=probed,
-            all_bounds={g: (b.lb, b.ub) for g, b in bounds.items()},
+            all_bounds=(self._view.bounds_snapshot() if hot else
+                        {g: (b.lb, b.ub) for g, b in bounds.items()}),
             certification=outcome,
         )
         self.network.advance_epoch()
@@ -365,6 +574,9 @@ class Fila:
                 self._install_order = None
             self.known.pop(event.node_id, None)
             self._view.delete(event.node_id)
+            # Filter / known state changed out-of-band of the column
+            # maintenance sites; rebuild on the next columnar epoch.
+            self._cols = None
         return invalidated
 
     def run(self, epochs: int) -> list[EpochResult]:

@@ -178,11 +178,15 @@ class Mint:
                 # Readings are quantized to the modality's ADC, so the
                 # same few hundred values recur; lifted partials are
                 # immutable and safe to share across nodes and epochs.
+                # Acquisition goes through the columnar batch read —
+                # one batch_values call per board channel, shared with
+                # any concurrent session over the same participants.
                 memo = self._lift_memo
                 if len(memo) > 4096:
                     memo.clear()
-                for node_id in self._participants():
-                    value = nodes[node_id].read(attribute, epoch)
+                readings = self.network.read_many(
+                    self._participants(), attribute)
+                for node_id, value in readings.items():
                     partial = memo.get(value)
                     if partial is None:
                         partial = memo[value] = from_value(value)

@@ -93,8 +93,9 @@ class Tag:
             memo = self._lift_memo
             if len(memo) > 4096:
                 memo.clear()
-            for node_id in self._participants():
-                value = nodes[node_id].read(attribute, epoch)
+            readings = self.network.read_many(
+                self._participants(), attribute)
+            for node_id, value in readings.items():
                 partial = memo.get(value)
                 if partial is None:
                     partial = memo[value] = from_value(value)

@@ -29,6 +29,16 @@ than asserted: ``tests/test_hotpath_equivalence.py`` drives random
 scenarios through both modes and compares answers and
 :class:`~repro.network.stats.NetworkStats` byte-for-byte, and the
 ``repro perf --compare-reference`` harness prices the speedup.
+
+A second, finer switch sits beside this one:
+:mod:`repro.network.columnar` selects between the object-at-a-time hot
+path and the structure-of-arrays columnar kernel (batched sensing,
+mask-driven passes). It layers *on top of* this switch — the columnar
+kernel is only active when the hot path is, so
+:func:`reference_path` always yields the pristine first-principles
+oracle — and follows the same switch-and-prove contract
+(``columnar.scalar_path()``, proved by the same equivalence suite,
+priced by ``benchmarks/bench_e16_columnar.py``).
 """
 
 from __future__ import annotations

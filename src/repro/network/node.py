@@ -122,6 +122,54 @@ class SensorNode:
             self._charge_flash(before)
         return value
 
+    def store_sample(self, attribute: str, epoch: int, value: float) -> None:
+        """Book a physically-acquired sample exactly as :meth:`read` does.
+
+        The columnar kernel samples a whole id column in one batch
+        (:meth:`repro.network.simulator.Network.read_many`) and then
+        books each value here — counter increment, same-epoch cache,
+        history window, flash — so per-node state is byte-identical to
+        a scalar :meth:`read`. The caller has already charged sensing
+        energy and performed the liveness/board checks in scalar order.
+        """
+        self.samples_taken += 1
+        self._sample_cache[attribute] = (epoch, value)
+        self.window_for(attribute).append(epoch, value)
+        if self.flash_index is not None:
+            before = self.flash_index.flash.stats.joules
+            self.flash_index.insert(epoch, value)
+            self._charge_flash(before)
+
+    def book_sample(self, attribute: str, epoch: int, value: float,
+                    cost_joules: float) -> float:
+        """One fused booking call for the planned batch-sampling loop.
+
+        Equivalent to the same-epoch-cache check of :meth:`read`
+        followed by ``ledger.charge_sensing(cost)`` +
+        :meth:`store_sample` on a miss — collapsed into a single
+        method because :meth:`repro.network.simulator.Network.read_many`
+        calls it for every freshly-drawn row and the call overhead was
+        measurable. The caller's sampling plan guarantees this node is
+        alive with a board (plan validity is tied to the alive-tuple's
+        identity), so the liveness/board checks are hoisted; the
+        caller also pre-filters same-epoch-fresh rows, making the
+        cache check here a cheap second line of defence rather than
+        the primary one. Returns the value actually booked (the cached
+        one on a same-epoch hit — byte-identical, since field
+        generators are deterministic per cell)."""
+        cached = self._sample_cache.get(attribute)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        self.ledger.charge_sensing(cost_joules)
+        self.samples_taken += 1
+        self._sample_cache[attribute] = (epoch, value)
+        self.window_for(attribute).append(epoch, value)
+        if self.flash_index is not None:
+            before = self.flash_index.flash.stats.joules
+            self.flash_index.insert(epoch, value)
+            self._charge_flash(before)
+        return value
+
     def history(self, last_n: int,
                 attribute: str | None = None) -> "list[WindowEntry]":
         """The most recent ``last_n`` readings, flash-first.

@@ -38,11 +38,11 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
-from typing import Callable, Hashable, Iterable, Iterator, Mapping
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import ConfigurationError, RoutingError, TopologyError
 from ..sensing.board import SensorBoard
-from . import hotpath
+from . import columnar, hotpath
 from .energy import EnergyLedger, EnergyModel
 from .events import TopologyEvent, TopologyEventKind
 from .link import RadioModel
@@ -139,6 +139,10 @@ class Network:
         self._live_children_cache: dict[int, tuple[int, ...]] = {}
         self._cache_tree: RoutingTree | None = None
         self._cache_version = -1
+        #: Structure-of-arrays caches (readings rows / columns) for the
+        #: columnar kernel; epoch-stamped and id-tuple-keyed, so no
+        #: invalidation hooks are needed (see ColumnarState).
+        self._columnar = columnar.ColumnarState()
         for node in self.nodes.values():
             node.on_kill = self._on_node_killed
 
@@ -532,11 +536,161 @@ class Network:
 
     def sample_all(self, attribute: str) -> dict[int, float]:
         """Every live sensor samples ``attribute`` for the current epoch."""
+        return dict(self.read_many(self.alive_sensor_ids(), attribute))
+
+    def read_many(self, node_ids: Sequence[int],
+                  attribute: str) -> dict[int, float]:
+        """One epoch's readings for a whole id column, in id order.
+
+        Byte-identical to ``{n: self.nodes[n].read(attribute, epoch)
+        for n in node_ids}`` — that *is* the code path with the
+        columnar kernel off. With it on, nodes still needing a physical
+        sample are grouped by board channel and acquired through one
+        :meth:`~repro.sensing.generators.FieldGenerator.batch_values`
+        call plus a vectorized clamp/quantize per channel, then booked
+        per node exactly as a scalar read
+        (:meth:`~repro.network.node.SensorNode.store_sample`). The row
+        is cached per (attribute, epoch, id-tuple identity), so N
+        concurrent sessions over the same deployment pay for one batch.
+
+        The returned dict is shared with later same-epoch callers —
+        treat it as read-only (copy it to mutate, as
+        :meth:`sample_all` does).
+        """
         nodes, epoch = self.nodes, self.epoch
-        return {
-            node_id: nodes[node_id].read(attribute, epoch)
-            for node_id in self.alive_sensor_ids()
-        }
+        if not (columnar._enabled and hotpath._enabled):
+            return {node_id: nodes[node_id].read(attribute, epoch)
+                    for node_id in node_ids}
+        row = self._columnar.cached(attribute, epoch, node_ids)
+        if row is not None:
+            return row
+        plan = self._columnar.plan(attribute, node_ids)
+        if plan is None:
+            plan = self._build_sampling_plan(node_ids, attribute)
+            if plan is None:
+                # A dead or board-less node in the tuple: the generic
+                # walk raises exactly as a scalar read would, at that
+                # node's position in the loop.
+                return self._read_many_generic(node_ids, attribute)
+            self._columnar.store_plan(attribute, node_ids, plan)
+        out = [0.0] * len(node_ids)
+        # The epoch's first batch (no row stored yet for this
+        # attribute+epoch, so no session warmed the per-node caches
+        # through this path) skips the freshness probe entirely and
+        # draws every row — ``book_sample`` still re-checks per node,
+        # so a straggler sampled by a scalar ``read`` is never
+        # double-booked.
+        first_batch = not self._columnar.has_row(attribute, epoch)
+        for field, modality, quantize, ids, rows in plan:
+            if first_batch:
+                values = field.batch_values(ids, epoch)
+                values = (columnar.quantize_column(values, modality)
+                          if quantize
+                          else columnar.clamp_column(values, modality))
+                cost = modality.sample_cost_joules
+                for (row_index, node), value in zip(rows, values):
+                    out[row_index] = node.book_sample(attribute, epoch,
+                                                      value, cost)
+                continue
+            # Later same-epoch readers: with N concurrent sessions
+            # only the first reader of an epoch pays the physical
+            # draw; everyone else is served from the per-node cache
+            # (exactly the scalar ``read`` fast path). Only stale
+            # rows reach ``batch_values`` — a Mersenne cell draw is
+            # ~100x the cost of this dict probe.
+            stale = None
+            for pair_index, (row_index, node) in enumerate(rows):
+                cached = node._sample_cache.get(attribute)
+                if cached is not None and cached[0] == epoch:
+                    out[row_index] = cached[1]
+                elif stale is None:
+                    stale = [pair_index]
+                else:
+                    stale.append(pair_index)
+            if stale is None:
+                continue
+            # All-stale (the first session each epoch) reuses the
+            # plan's id list itself, so the fields' identity-keyed
+            # base memos keep hitting.
+            stale_ids = (ids if len(stale) == len(ids)
+                         else [ids[i] for i in stale])
+            values = field.batch_values(stale_ids, epoch)
+            values = (columnar.quantize_column(values, modality) if quantize
+                      else columnar.clamp_column(values, modality))
+            cost = modality.sample_cost_joules
+            for pair_index, value in zip(stale, values):
+                row_index, node = rows[pair_index]
+                out[row_index] = node.book_sample(attribute, epoch,
+                                                  value, cost)
+        readings = dict(zip(node_ids, out))
+        self._columnar.store(attribute, epoch, node_ids, readings)
+        return readings
+
+    def _build_sampling_plan(self, node_ids: Sequence[int],
+                             attribute: str):
+        """Partition an id tuple by board channel (see
+        :meth:`repro.network.columnar.ColumnarState.plan`). None when
+        any node is dead or board-less — those tuples take the generic
+        walk, which reproduces scalar error ordering."""
+        nodes = self.nodes
+        groups: dict[tuple, tuple] = {}
+        for row_index, node_id in enumerate(node_ids):
+            node = nodes[node_id]
+            if not node.alive or node.board is None:
+                return None
+            field, modality, quantize = node.board.channel(attribute)
+            key = (id(field), id(modality), quantize)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = (field, modality, quantize, [], [])
+            group[3].append(node_id)
+            group[4].append((row_index, node))
+        return tuple(groups.values())
+
+    def _read_many_generic(self, node_ids: Sequence[int],
+                           attribute: str) -> dict[int, float]:
+        """The unplanned batch walk: per-node freshness and liveness
+        checks inline, in id order (the pre-plan read_many body)."""
+        nodes, epoch = self.nodes, self.epoch
+        readings: dict[int, float] = {}
+        pending: dict[tuple, list[int]] = {}
+        channels: dict[tuple, tuple] = {}
+        for node_id in node_ids:
+            node = nodes[node_id]
+            cached = node._sample_cache.get(attribute)
+            if cached is not None and cached[0] == epoch and node.alive:
+                readings[node_id] = cached[1]
+                continue
+            if not node.alive or node.board is None:
+                readings[node_id] = node.read(attribute, epoch)
+                continue
+            field, modality, quantize = node.board.channel(attribute)
+            key = (id(field), id(modality), quantize)
+            group = pending.get(key)
+            if group is None:
+                group = pending[key] = []
+                channels[key] = (field, modality, quantize)
+            group.append(node_id)
+            readings[node_id] = 0.0  # placeholder keeps dict in id order
+        for key, ids in pending.items():
+            field, modality, quantize = channels[key]
+            values = field.batch_values(ids, epoch)
+            values = (columnar.quantize_column(values, modality) if quantize
+                      else columnar.clamp_column(values, modality))
+            cost = modality.sample_cost_joules
+            for node_id, value in zip(ids, values):
+                node = nodes[node_id]
+                node.ledger.charge_sensing(cost)
+                node.store_sample(attribute, epoch, value)
+                readings[node_id] = value
+        self._columnar.store(attribute, epoch, node_ids, readings)
+        return readings
+
+    def reading_column(self, node_ids: Sequence[int], attribute: str):
+        """This epoch's cached readings row as a backend float column
+        aligned to ``node_ids`` (None when :meth:`read_many` has not
+        built the row). FILA's mask passes consume this."""
+        return self._columnar.column(attribute, self.epoch, node_ids)
 
     def advance_epoch(self) -> int:
         """Close the epoch: charge idle energy, bump the counter.

@@ -53,6 +53,17 @@ class SensorBoard:
                 f"{', '.join(self.attributes)}"
             ) from None
 
+    def channel(self, attribute: str) -> tuple[FieldGenerator, Modality, bool]:
+        """The (field, modality, quantize) triple behind a channel.
+
+        The columnar kernel groups nodes by this triple so one
+        :meth:`FieldGenerator.batch_values` call plus one vectorized
+        quantize/clamp serves every node sharing the same physical
+        channel (:meth:`repro.network.simulator.Network.read_many`).
+        """
+        modality = self.modality(attribute)
+        return self._fields[attribute], modality, self._quantize
+
     def sample(self, attribute: str, node_id: int, epoch: int,
                energy_sink: EnergySink | None = None) -> float:
         """Acquire one quantized reading, charging sampling energy.

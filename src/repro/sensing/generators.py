@@ -33,6 +33,42 @@ def _rng_for(seed: int, node_id: int, epoch: int) -> random.Random:
     return random.Random((seed * 1_000_003 + node_id) * 1_000_033 + epoch)
 
 
+def _cell_seed(seed: int, node_id: int, epoch: int) -> int:
+    """The integer seed :func:`_rng_for` hands ``random.Random``.
+
+    The batch paths reuse one ``Random`` instance and re-seed it per
+    cell — CPython's ``seed()`` resets the full Mersenne state *and*
+    ``gauss_next``, so the draws are byte-identical to a fresh
+    instance (proved by ``tests/test_generators.py``).
+    """
+    return (seed * 1_000_003 + node_id) * 1_000_033 + epoch
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _cell_hash01(seed: int, node_id: int, epoch: int) -> float:
+    """A uniform float in ``[0, 1)`` from one splitmix64 finalizer.
+
+    Counter-based: the cell coordinates *are* the state, so there is
+    no sequential stream to advance and the whole column can be hashed
+    at once (:func:`repro.network.columnar.hash01_column` is the
+    vectorized twin; the equivalence suite pins the two together).
+    Fields that need exactly one uniform per cell
+    (:class:`ZipfEventField` jitter) use this instead of seeding a
+    Mersenne Twister per cell — full-state MT seeding costs ~6µs per
+    cell, ~300x the hash. Gaussian draws (:class:`RoomField` noise)
+    keep the per-cell Mersenne stream: ``gauss`` consumes a variable
+    number of uniforms plus ``log``/``sqrt``, which does not vectorize
+    byte-identically.
+    """
+    h = ((seed * 1_000_003 + node_id) * 1_000_033 + epoch) & _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 31
+    return (h >> 11) * 2.0 ** -53
+
+
 class FieldGenerator(ABC):
     """Produces the physical value sensed by a node at an epoch."""
 
@@ -40,9 +76,61 @@ class FieldGenerator(ABC):
     def value(self, node_id: int, epoch: int) -> float:
         """The raw (unquantized) reading of ``node_id`` at ``epoch``."""
 
+    def batch_values(self, node_ids: Sequence[int], epoch: int
+                     ) -> list[float]:
+        """One epoch's readings for a whole id column, in order.
+
+        Byte-identical to ``[self.value(n, epoch) for n in node_ids]``
+        — that *is* the default implementation. Fields whose per-cell
+        work vectorizes (:class:`RoomField`, :class:`ZipfEventField`)
+        override it for the columnar kernel
+        (:mod:`repro.network.columnar`); the equivalence suite holds
+        every override to the scalar loop.
+        """
+        return [self.value(node_id, epoch) for node_id in node_ids]
+
     def bounded(self, modality: Modality, node_id: int, epoch: int) -> float:
         """The reading clamped and quantized to a modality's ADC."""
         return modality.quantize(self.value(node_id, epoch))
+
+
+class ClusterField(FieldGenerator):
+    """A field whose nodes belong to named clusters (rooms, groups).
+
+    Owns the one enrollment code path churn newborns take: PR 2 wired
+    :class:`RoomField` and :class:`ZipfEventField` enrollment
+    separately, and the duplicated guards drifted — this base class is
+    the fix. Subclasses declare their cluster universe via
+    :meth:`_known_clusters`; :meth:`enroll` validates against it and
+    records the membership, so a newborn's very first sample draws
+    from its inherited cluster under either field
+    (``tests/test_generators.py`` holds both fields to that).
+    """
+
+    #: node id -> cluster key; subclasses populate at construction.
+    _cluster_of: dict
+    #: Bumped on every enrollment — batch paths key their per-id-tuple
+    #: memos on it so a newborn invalidates them.
+    _membership_version = 0
+
+    def _known_clusters(self):
+        """The clusters nodes may enroll into (membership container)."""
+        raise NotImplementedError
+
+    def cluster_of(self, node_id: int):
+        """The cluster ``node_id`` senses within (None when unknown)."""
+        return self._cluster_of.get(node_id)
+
+    def enroll(self, node_id: int, cluster) -> None:
+        """Admit a newborn node into an existing cluster (churn
+        births): it senses that cluster's activity like any mote
+        deployed there from the start. Unknown clusters are a
+        configuration error (the cluster universe is fixed at
+        construction)."""
+        if cluster not in self._known_clusters():
+            raise ConfigurationError(f"unknown cluster {cluster!r}")
+        self._cluster_of[node_id] = cluster
+        self._membership_version += 1
 
 
 class ConstantField(FieldGenerator):
@@ -145,59 +233,124 @@ class DiurnalField(FieldGenerator):
         return self._mean + self._amplitude * math.sin(angle)
 
 
-class ZipfEventField(FieldGenerator):
+class ZipfEventField(ClusterField):
     """Zipf-skewed event magnitudes over groups of nodes.
 
     With skew ``s = 0`` every group is equally loud on average; as ``s``
     grows a few groups dominate, which is the regime where top-k pruning
     saves the most traffic. Group ``r`` (by popularity rank) has expected
     magnitude proportional to ``1 / (r+1)^s``; per-epoch jitter is
-    uniform within ±``jitter``.
+    uniform within ±``jitter``, drawn from the counter-based per-cell
+    hash (:func:`_cell_hash01`) so the batch path vectorizes it exactly.
     """
 
+    #: The per-cell jitter RNG stream offset (distinct per field kind).
+    _STREAM = 0x21F
+
     def __init__(self, group_of: Mapping[int, int], lo: float, hi: float,
-                 skew: float, jitter: float = 5.0, seed: int = 0):
+                 skew: float, jitter: float = 5.0, seed: int = 0,
+                 margin: float = 0.0):
+        """``margin`` insets the group levels from the field's clamp
+        range: levels span ``[lo + margin, hi - margin]`` instead of
+        ``[lo, hi]``. With ``margin >= jitter`` no reading ever
+        saturates — without it the top group's level sits exactly at
+        ``hi`` (and, under skew, the quietest groups within jitter of
+        ``lo``), so a large fraction of readings clamp to the exact
+        rail values, which collapses the value distribution at the
+        rails. Default 0 keeps the historical saturating behavior.
+        """
         if lo > hi:
             raise ConfigurationError("ZipfEventField: lo must be <= hi")
         if skew < 0:
             raise ConfigurationError("skew must be non-negative")
-        self._group_of = dict(group_of)
+        if margin < 0 or 2 * margin > hi - lo:
+            raise ConfigurationError(
+                "margin must satisfy 0 <= 2 * margin <= hi - lo")
+        self._cluster_of = dict(group_of)
         self._lo = lo
         self._hi = hi
         self._skew = skew
         self._jitter = jitter
         self._seed = seed
-        groups = sorted(set(self._group_of.values()))
+        groups = sorted(set(self._cluster_of.values()))
         ranks = list(range(len(groups)))
         random.Random(seed).shuffle(ranks)
         weights = [1.0 / (r + 1) ** skew for r in ranks]
         top = max(weights) if weights else 1.0
+        span = (hi - lo) - 2 * margin
         self._level = {
-            g: lo + (hi - lo) * w / top for g, w in zip(groups, weights)
+            g: lo + margin + span * w / top for g, w in zip(groups, weights)
         }
+        #: (ids_tuple, membership_version, base column, unknown rows)
+        self._base_cache: tuple | None = None
+
+    def _known_clusters(self):
+        return self._level
 
     def group_level(self, group: int) -> float:
         """The expected magnitude of a group (before jitter)."""
         return self._level[group]
 
-    def enroll(self, node_id: int, group: int) -> None:
-        """Admit a newborn node into an existing group's event field
-        (churn births); unknown groups are a configuration error."""
-        if group not in self._level:
-            raise ConfigurationError(f"unknown group {group!r}")
-        self._group_of[node_id] = group
-
     def value(self, node_id: int, epoch: int) -> float:
-        group = self._group_of.get(node_id)
+        group = self._cluster_of.get(node_id)
         if group is None:
             return self._lo
         base = self._level[group]
-        jit = _rng_for(self._seed ^ 0x21F, node_id, epoch).uniform(
-            -self._jitter, self._jitter)
+        jitter = self._jitter
+        jit = _cell_hash01(self._seed ^ self._STREAM, node_id, epoch) \
+            * (jitter + jitter) - jitter
         return min(self._hi, max(self._lo, base + jit))
 
+    def batch_values(self, node_ids: Sequence[int], epoch: int
+                     ) -> list[float]:
+        """Batch :meth:`value`: the jitter hash, clamp and level offset
+        run as whole-column ops (byte-identical; see base class —
+        elementwise ``*``/``-``/``+`` and ``minimum``/``maximum`` are
+        IEEE-identical to the scalar expressions in :meth:`value`)."""
+        from ..network import columnar
 
-class RoomField(FieldGenerator):
+        np_ = columnar.numpy_module()
+        if np_ is None:
+            # Pure-python backend: the scalar loop *is* the batch.
+            return [self.value(node_id, epoch) for node_id in node_ids]
+        lo, hi, jitter = self._lo, self._hi, self._jitter
+        cached = self._base_cache
+        if (cached is not None and cached[0] is node_ids
+                and cached[1] == self._membership_version):
+            base, unknown = cached[2], cached[3]
+        else:
+            cluster_of = self._cluster_of
+            level = self._level
+            base_list: list[float] = []
+            unknown_rows: list[int] = []
+            for row, node_id in enumerate(node_ids):
+                group = cluster_of.get(node_id)
+                if group is None:
+                    # Scalar semantics: an unenrolled node reads the
+                    # floor, exactly (no jitter). Overwritten after
+                    # the clamp.
+                    unknown_rows.append(row)
+                    base_list.append(lo)
+                else:
+                    base_list.append(level[group])
+            base = np_.asarray(base_list)
+            unknown = tuple(unknown_rows)
+            # Memoized per id-tuple identity + enrollment version: the
+            # level column is a pure function of membership, and the
+            # alive tuple is rebuilt on any churn.
+            self._base_cache = (node_ids, self._membership_version,
+                                base, unknown)
+        u = columnar.hash01_column(self._seed ^ self._STREAM,
+                                   node_ids, epoch)
+        values = np_.minimum(hi, np_.maximum(
+            lo, base + (u * (jitter + jitter) - jitter)
+        )).tolist()
+        for row in unknown:
+            values[row] = lo
+        return values
+
+
+class RoomField(ClusterField):
     """The conference-room sound model.
 
     Each room has a slowly-wandering activity level (a random walk —
@@ -207,15 +360,18 @@ class RoomField(FieldGenerator):
     discussions" demo scenario.
     """
 
+    #: The per-cell noise RNG stream offset (distinct per field kind).
+    _STREAM = 0xB00
+
     def __init__(self, room_of: Mapping[int, str | int], lo: float = 0.0,
                  hi: float = 100.0, room_step: float = 4.0,
                  sensor_sigma: float = 1.5, seed: int = 0):
-        self._room_of = dict(room_of)
+        self._cluster_of = dict(room_of)
         self._sigma = sensor_sigma
         self._lo = lo
         self._hi = hi
         self._seed = seed
-        rooms = sorted(set(self._room_of.values()), key=str)
+        rooms = sorted(set(self._cluster_of.values()), key=str)
         rng = random.Random(seed)
         self._room_walks = {
             room: RandomWalkField(
@@ -226,26 +382,46 @@ class RoomField(FieldGenerator):
             for index, room in enumerate(rooms)
         }
 
+    def _known_clusters(self):
+        return self._room_walks
+
     def room_level(self, room: str | int, epoch: int) -> float:
         """Ground-truth activity level of a room at an epoch."""
         return self._room_walks[room].value(0, epoch)
 
-    def enroll(self, node_id: int, room: str | int) -> None:
-        """Admit a newborn node into an existing room (churn births):
-        it reads that room's activity level plus its own noise, like
-        any mote deployed there from the start. Unknown rooms are a
-        configuration error (room walks are fixed at construction)."""
-        if room not in self._room_walks:
-            raise ConfigurationError(f"unknown room {room!r}")
-        self._room_of[node_id] = room
-
     def value(self, node_id: int, epoch: int) -> float:
-        room = self._room_of.get(node_id)
+        room = self._cluster_of.get(node_id)
         if room is None:
             return self._lo
         level = self.room_level(room, epoch)
-        noise = _rng_for(self._seed ^ 0xB00, node_id, epoch).gauss(0.0, self._sigma)
+        noise = _rng_for(self._seed ^ self._STREAM, node_id, epoch).gauss(
+            0.0, self._sigma)
         return min(self._hi, max(self._lo, level + noise))
+
+    def batch_values(self, node_ids: Sequence[int], epoch: int
+                     ) -> list[float]:
+        """Batch :meth:`value`: room levels resolved once per room,
+        one reused per-cell RNG for the sensor noise, clamp vectorized
+        over the column (byte-identical; see base class)."""
+        from ..network import columnar
+
+        cluster_of = self._cluster_of
+        seed = self._seed ^ self._STREAM
+        sigma = self._sigma
+        levels: dict = {}
+        rng = random.Random()
+        raw: list[float] = []
+        for node_id in node_ids:
+            room = cluster_of.get(node_id)
+            if room is None:
+                raw.append(self._lo)
+                continue
+            level = levels.get(room)
+            if level is None:
+                level = levels[room] = self.room_level(room, epoch)
+            rng.seed(_cell_seed(seed, node_id, epoch))
+            raw.append(level + rng.gauss(0.0, sigma))
+        return columnar.clamp_values(raw, self._lo, self._hi)
 
 
 class TableField(FieldGenerator):

@@ -4,12 +4,12 @@ import doctest
 
 import pytest
 
-from repro import units
+from repro import api, units
 from repro.network import packets
 from repro.sensing import traces
 
 
-@pytest.mark.parametrize("module", [units, packets, traces],
+@pytest.mark.parametrize("module", [api, units, packets, traces],
                          ids=lambda m: m.__name__)
 def test_module_doctests(module):
     results = doctest.testmod(module)

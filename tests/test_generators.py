@@ -3,6 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.network import columnar
+from repro.network.columnar import hash01_column
 from repro.sensing.generators import (
     ConstantField,
     DiurnalField,
@@ -12,6 +14,7 @@ from repro.sensing.generators import (
     TableField,
     UniformRandomField,
     ZipfEventField,
+    _cell_hash01,
 )
 from repro.sensing.modalities import get_modality
 
@@ -188,3 +191,143 @@ class TestComposition:
     def test_negative_sigma_rejected(self):
         with pytest.raises(ConfigurationError):
             GaussianNoiseField(ConstantField({}), sigma=-1.0)
+
+
+class TestCellHashRNG:
+    """The counter-based jitter RNG (``_cell_hash01``) and its
+    vectorized twin (``repro.network.columnar.hash01_column``) draw
+    the same bits for the same (seed, node, epoch) cell — the scalar
+    splitmix64 finalizer masks to 64 bits exactly where numpy's uint64
+    arithmetic wraps, so the columns are pinned bit-for-bit."""
+
+    CELLS = [
+        (11, tuple(range(1, 41)), 0),
+        (11, (1, 9, 400, 10**6), 12345),
+        (-3, (0, 7), 2**40),
+        (0, (1,), 0),
+    ]
+
+    def test_column_matches_scalar(self):
+        for seed, ids, epoch in self.CELLS:
+            column = hash01_column(seed, ids, epoch)
+            assert list(column) == [_cell_hash01(seed, n, epoch)
+                                    for n in ids]
+
+    def test_column_matches_scalar_python_backend(self):
+        with columnar.force_python_backend():
+            for seed, ids, epoch in self.CELLS:
+                column = hash01_column(seed, ids, epoch)
+                assert list(column) == [_cell_hash01(seed, n, epoch)
+                                        for n in ids]
+
+    def test_unit_interval_and_spread(self):
+        draws = [_cell_hash01(1, n, e)
+                 for n in range(50) for e in range(4)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert len(set(draws)) == len(draws)
+
+
+class TestBatchValues:
+    """``batch_values`` is a drop-in for the scalar ``value`` loop on
+    both cluster fields, under either numeric backend, including
+    unenrolled ids (which read the floor)."""
+
+    GROUPS = {i: i % 4 for i in range(1, 21)}
+    ROOMS = {i: ("A" if i % 2 else "B") for i in range(1, 21)}
+
+    def test_zipf_batch_matches_scalar_loop(self):
+        field = ZipfEventField(self.GROUPS, 0, 100, skew=1.2,
+                               jitter=3.0, seed=7, margin=4.0)
+        ids = tuple(range(1, 21)) + (999,)
+        for epoch in (0, 5, 1_000_000):
+            assert field.batch_values(ids, epoch) == [
+                field.value(n, epoch) for n in ids]
+
+    def test_zipf_batch_matches_under_python_backend(self):
+        field = ZipfEventField(self.GROUPS, 0, 100, skew=1.2,
+                               jitter=3.0, seed=7, margin=4.0)
+        ids = tuple(range(1, 21)) + (999,)
+        with columnar.force_python_backend():
+            fallback = field.batch_values(ids, 5)
+        assert fallback == field.batch_values(ids, 5)
+
+    def test_room_batch_matches_scalar_loop(self):
+        field = RoomField(self.ROOMS, seed=7)
+        ids = tuple(range(1, 21)) + (999,)
+        for epoch in (0, 5, 42):
+            assert field.batch_values(ids, epoch) == [
+                field.value(n, epoch) for n in ids]
+
+    def test_zipf_batch_cache_invalidated_by_enrollment(self):
+        """The memoized level column is keyed on the id tuple's
+        identity *and* the membership version: enrolling a newborn
+        into a cluster must flow into the very next batch over the
+        same tuple."""
+        field = ZipfEventField(self.GROUPS, 0, 100, skew=1.0,
+                               jitter=2.0, seed=3)
+        ids = (1, 2, 3, 99)
+        first = field.batch_values(ids, 0)
+        assert first[3] == 0.0  # unenrolled: reads the floor
+        field.enroll(99, 2)
+        assert field.batch_values(ids, 0) == [
+            field.value(n, 0) for n in ids]
+
+
+class TestZipfMargin:
+    GROUPS = {i: i % 4 for i in range(1, 13)}
+
+    def test_levels_inset_by_margin(self):
+        field = ZipfEventField(self.GROUPS, 0, 100, skew=2.0, seed=1,
+                               margin=8.0)
+        levels = [field.group_level(g) for g in range(4)]
+        assert max(levels) == 100.0 - 8.0
+        assert all(8.0 <= level <= 92.0 for level in levels)
+
+    def test_margin_at_least_jitter_never_saturates(self):
+        field = ZipfEventField(self.GROUPS, 0, 100, skew=2.0,
+                               jitter=6.0, seed=1, margin=8.0)
+        values = [field.value(n, e)
+                  for n in self.GROUPS for e in range(30)]
+        assert all(0.0 < v < 100.0 for v in values)
+
+    def test_default_margin_preserves_saturating_levels(self):
+        field = ZipfEventField(self.GROUPS, 0, 100, skew=2.0, seed=1)
+        assert max(field.group_level(g) for g in range(4)) == 100.0
+
+    @pytest.mark.parametrize("margin", [-1.0, 60.0])
+    def test_invalid_margin_rejected(self, margin):
+        with pytest.raises(ConfigurationError):
+            ZipfEventField(self.GROUPS, 0, 100, skew=1.0,
+                           margin=margin)
+
+
+class TestClusterEnrollment:
+    """Both cluster fields share one enrollment code path
+    (``ClusterField.enroll``): a churn newborn's very first sample is
+    indistinguishable from a mote deployed in that cluster from the
+    start, under either field."""
+
+    def test_newborn_first_sample_matches_cluster_zipf(self):
+        groups = {i: i % 3 for i in range(1, 10)}
+        field = ZipfEventField(groups, 0, 100, skew=1.0, jitter=2.0,
+                               seed=5)
+        field.enroll(99, 1)
+        value = field.value(99, 0)
+        assert abs(value - field.group_level(1)) <= 2.0 + 1e-9
+        born_with = ZipfEventField({**groups, 99: 1}, 0, 100,
+                                   skew=1.0, jitter=2.0, seed=5)
+        assert value == born_with.value(99, 0)
+
+    def test_newborn_first_sample_matches_cluster_room(self):
+        rooms = {1: "A", 2: "B"}
+        field = RoomField(rooms, sensor_sigma=1.0, seed=5)
+        field.enroll(99, "A")
+        born_with = RoomField({**rooms, 99: "A"}, sensor_sigma=1.0,
+                              seed=5)
+        assert field.value(99, 3) == born_with.value(99, 3)
+
+    def test_unknown_cluster_rejected_by_both(self):
+        with pytest.raises(ConfigurationError):
+            ZipfEventField({1: 0}, 0, 100, skew=1.0, seed=1).enroll(9, 7)
+        with pytest.raises(ConfigurationError):
+            RoomField({1: "A"}, seed=1).enroll(9, "Z")
