@@ -26,7 +26,7 @@ from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario, random_rooms_scenario
 from repro.sensing.modalities import get_modality
 
-from conftest import once, report
+from conftest import once
 
 SCENARIOS = 60
 EPOCHS = 25

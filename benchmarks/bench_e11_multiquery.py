@@ -23,7 +23,7 @@ import time
 from repro.api import Deployment, EpochDriver
 from repro.scenarios import grid_rooms_scenario
 
-from conftest import once, report
+from conftest import once
 
 #: The mixed per-user workload: ranking rooms by different aggregates
 #: plus a historic TJA pass — all over the same sound field.

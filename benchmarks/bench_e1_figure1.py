@@ -11,7 +11,7 @@ from repro.core import Centralized, Mint, MintConfig, NaiveTopK, Tag
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import figure1_scenario
 
-from conftest import once, report
+from conftest import once
 
 
 def run_figure1():

@@ -15,7 +15,7 @@ from repro.core import Centralized, Mint, MintConfig, Tag
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
 
-from conftest import once, report
+from conftest import once
 
 EPOCHS = 30
 KS = (1, 2, 4, 8, 16)

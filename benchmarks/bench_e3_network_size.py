@@ -12,7 +12,7 @@ from repro.core import Centralized, Mint, MintConfig, Tag
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
 
-from conftest import once, report
+from conftest import once
 
 EPOCHS = 20
 SIDES = (4, 6, 8, 10, 12)

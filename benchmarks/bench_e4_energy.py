@@ -14,7 +14,7 @@ from repro.core.aggregates import make_aggregate
 from repro.network.energy import lifetime_epochs
 from repro.scenarios import grid_rooms_scenario
 
-from conftest import once, report
+from conftest import once
 
 EPOCHS = 100
 

@@ -13,7 +13,7 @@ from repro.core.aggregates import make_aggregate
 from repro.network.messages import ObjectScore, ScoreListMessage
 from repro.scenarios import grid_rooms_scenario
 
-from conftest import correlated_series, once, report
+from conftest import correlated_series, once
 
 WINDOW = 256
 KS = (1, 5, 10, 20)

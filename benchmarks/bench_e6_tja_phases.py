@@ -12,7 +12,7 @@ from repro.core import Tja
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
 
-from conftest import correlated_series, once, report
+from conftest import correlated_series, once
 
 WINDOW = 192
 K = 10

@@ -13,7 +13,7 @@ from repro.core.mint import MintConfig
 from repro.gui.render import render_savings
 from repro.scenarios import conference_scenario
 
-from conftest import once, report
+from conftest import once
 
 EPOCHS = 60
 QUERY = ("SELECT TOP 3 roomid, AVERAGE(sound) FROM sensors "

@@ -16,7 +16,7 @@ from repro.query.validator import Schema
 from repro.scenarios import grid_rooms_scenario
 from repro.sensing.modalities import get_modality
 
-from conftest import once, report
+from conftest import once
 
 WINDOWS = (8, 32, 128)
 EPOCHS = 140

@@ -13,7 +13,7 @@ from repro.core.aggregates import make_aggregate
 from repro.scenarios import grid_rooms_scenario
 from repro.sensing.modalities import get_modality
 
-from conftest import once, report
+from conftest import once
 
 SKEWS = (0.0, 0.5, 1.0, 1.5)
 EPOCHS = 30

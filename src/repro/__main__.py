@@ -1,7 +1,13 @@
-"""``python -m repro`` — forwards to the CLI."""
+"""``python -m repro`` — forwards to the CLI.
+
+The guard matters: ``runpy`` executes this module as ``__main__`` so
+the CLI still runs, but importing ``repro.__main__`` (pickling, doc
+tools, the import-hygiene audit) stays side-effect free.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

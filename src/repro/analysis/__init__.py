@@ -1,0 +1,31 @@
+"""Static analysis: ``repro lint``, the architecture book as tripwires.
+
+The load-bearing conventions of this codebase — one RNG stream per
+purpose, epochs as the only clock, the five-layer import DAG,
+switch-and-prove pairing, the error taxonomy — are documented in
+docs/ARCHITECTURE.md and enforced here as AST lints (catalog in
+docs/LINT.md). ``repro lint src/repro`` runs every registered rule in
+one pass per file; deliberate exceptions carry inline
+``# repro: allow[rule-id] -- justification`` pragmas, justification
+required.
+
+Package layout: ``registry`` (rule catalog + Finding), ``pragmas``
+(suppressions and ``# repro: hot`` markers), ``visitor`` (one-pass
+dispatch), ``layers`` (the import DAG as data), ``rules`` (the
+checks), ``runner`` (orchestration, text/JSON reports, exit codes).
+"""
+
+from __future__ import annotations
+
+from . import rules as _rules  # noqa: F401  - registers the catalog on import
+from .layers import ALLOWED_IMPORTS, validate_dag
+from .pragmas import Allow, PragmaIndex
+from .registry import REGISTRY, Finding, Rule, iter_rules, rule_catalog, \
+    rule_ids
+from .runner import LintReport, Suppression, lint_paths
+
+__all__ = [
+    "ALLOWED_IMPORTS", "Allow", "Finding", "LintReport", "PragmaIndex",
+    "REGISTRY", "Rule", "Suppression", "iter_rules", "lint_paths",
+    "rule_catalog", "rule_ids", "validate_dag",
+]

@@ -1,0 +1,97 @@
+"""Inline pragmas: justified suppressions and hot-function markers.
+
+Two comment forms are recognized, anywhere on a line:
+
+``# repro: allow[rule-id] -- justification``
+    Suppresses findings of ``rule-id`` (comma-separate several ids) on
+    the same line or the line directly below. The justification after
+    ``--`` is *required*: an allow without one suppresses nothing and
+    is itself reported by the ``pragma-discipline`` rule, so every
+    grandfathered exception in the tree carries its reason inline.
+
+``# repro: hot``
+    Marks the function defined on the same line or the line directly
+    below as allocation-critical; the ``hot-loop-allocation`` rule
+    audits marked bodies for per-iteration allocation idioms.
+
+Pragmas are read from real ``COMMENT`` tokens (:mod:`tokenize`), so a
+docstring *describing* the pragma syntax — like this one — is not a
+pragma. Files reach this index only after :func:`ast.parse` succeeded,
+so tokenization cannot fail on them; a defensive fallback still keeps
+partially-tokenizable sources from crashing the linter.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*(?:"
+    r"allow\[(?P<ids>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<why>\S.*?))?"
+    r"|(?P<hot>hot)\b"
+    r")\s*$")
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """``(line, text)`` for every comment token in ``source``."""
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # unparseable tail; the runner reports it as parse-error
+
+
+@dataclass(frozen=True)
+class Allow:
+    """One ``allow[...]`` pragma occurrence."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    justification: str  # empty string when missing
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+
+class PragmaIndex:
+    """All pragmas of one file, indexed for O(1) suppression lookups."""
+
+    def __init__(self, source: str):
+        self.allows: List[Allow] = []
+        self.hot_lines: Set[int] = set()
+        #: line -> allows effective on that line (own line + line above).
+        self._effective: Dict[int, List[Allow]] = {}
+        for lineno, text in _comment_tokens(source):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            if match.group("hot"):
+                self.hot_lines.add(lineno)
+                continue
+            ids = tuple(part.strip() for part in
+                        match.group("ids").split(",") if part.strip())
+            allow = Allow(lineno, ids, (match.group("why") or "").strip())
+            self.allows.append(allow)
+            for covered in (lineno, lineno + 1):
+                self._effective.setdefault(covered, []).append(allow)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """True when a *justified* allow for ``rule_id`` covers ``line``."""
+        return any(allow.justified and rule_id in allow.rule_ids
+                   for allow in self._effective.get(line, ()))
+
+    def suppressions_for(self, rule_id: str, line: int) -> Iterator[Allow]:
+        for allow in self._effective.get(line, ()):
+            if allow.justified and rule_id in allow.rule_ids:
+                yield allow
+
+    def is_hot(self, def_line: int) -> bool:
+        """A ``# repro: hot`` marker on the def line or the line above."""
+        return bool(self.hot_lines & {def_line, def_line - 1})

@@ -1,0 +1,110 @@
+"""Rule registry: the catalog of architectural lints and their metadata.
+
+A rule is a small stateless object that subscribes to AST node types
+(``node_types``) and/or runs one whole-file pass (``check_file``).
+Registration is declarative — ``@register`` instantiates the class and
+files it under its ``id`` — so the CLI's ``--list-rules``, the fixture
+meta-test and the pragma validator all enumerate the same catalog.
+
+Path scoping lives on the rule (``paths`` include patterns, ``exempt``
+exclude patterns, both :func:`fnmatch.fnmatch` over the posix display
+path), so "only in ``api/``" and "everywhere but ``perf.py``" are data,
+not code, and the fixture suite can exercise scoped rules by mirroring
+the path shape under ``tests/fixtures/lint/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .visitor import FileContext
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class Rule:
+    """Base class for every lint rule.
+
+    Subclasses set the class attributes and override :meth:`visit`
+    (called once per matching AST node) and/or :meth:`check_file`
+    (called once per file). Both yield :class:`Finding` objects; the
+    runner owns suppression, sorting and rendering.
+    """
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+    #: AST node classes this rule wants to see (dispatch is by exact type).
+    node_types: Tuple[type, ...] = ()
+    #: fnmatch include patterns over the posix display path.
+    paths: Tuple[str, ...] = ("*",)
+    #: fnmatch exclude patterns; any match wins over ``paths``.
+    exempt: Tuple[str, ...] = ()
+
+    def applies(self, ctx: "FileContext") -> bool:
+        path = ctx.display
+        if not any(fnmatch(path, pattern) for pattern in self.paths):
+            return False
+        return not any(fnmatch(path, pattern) for pattern in self.exempt)
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> Iterable[Finding]:
+        return ()
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        return ()
+
+    def finding(self, ctx: "FileContext", node: ast.AST,
+                message: str) -> Finding:
+        return Finding(self.id, ctx.display, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0), message)
+
+
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate ``cls`` and file it by ``cls.id``."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    REGISTRY[rule.id] = rule
+    return cls
+
+
+def iter_rules() -> Iterator[Rule]:
+    """All registered rules, in id order."""
+    for rule_id in sorted(REGISTRY):
+        yield REGISTRY[rule_id]
+
+
+def rule_ids() -> frozenset:
+    return frozenset(REGISTRY)
+
+
+def rule_catalog() -> list:
+    """``--list-rules`` payload: one dict per rule, id-ordered."""
+    return [{"id": rule.id, "summary": rule.summary,
+             "rationale": rule.rationale}
+            for rule in iter_rules()]

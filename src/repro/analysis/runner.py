@@ -1,0 +1,168 @@
+"""Orchestration: walk files, run rules, apply pragmas, render reports.
+
+:func:`lint_paths` is the one entry point (the CLI subcommand and the
+test suite both call it): it expands the given files/directories to
+``.py`` files, parses each once, runs the registered rules in a single
+AST pass per file (see ``visitor.py``), then filters findings through
+the justified-suppression pragmas. The report renders as human text or
+as schema-versioned JSON (``kspot-lint/1``) — the CI artifact — and
+maps to exit codes: 0 clean (suppressions included), 1 findings,
+2 operational error (bad path, not a file tree).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .registry import Finding, Rule, iter_rules, rule_catalog
+from .visitor import build_context, run_rules
+
+SCHEMA = "kspot-lint/1"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A finding silenced by a justified ``allow`` pragma."""
+
+    finding: Finding
+    justification: str
+
+    def as_dict(self) -> dict:
+        payload = self.finding.as_dict()
+        payload["justification"] = self.justification
+        return payload
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, renderable as text or JSON."""
+
+    paths: List[str]
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Suppression] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def summary(self) -> dict:
+        counts: dict = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        tail = (f"{len(self.findings)} finding(s), "
+                f"{len(self.suppressed)} suppressed, "
+                f"{self.files_scanned} file(s) scanned")
+        if not self.findings:
+            tail = "clean: " + tail
+        lines.append(tail)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": SCHEMA,
+            "paths": self.paths,
+            "files_scanned": self.files_scanned,
+            "summary": self.summary(),
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": [entry.as_dict() for entry in self.suppressed],
+            "rules": rule_catalog(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """The ``.py`` files under ``paths``, sorted, ``__pycache__`` skipped."""
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise ConfigurationError(f"lint path does not exist: {path}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _display(path: Path) -> str:
+    """Stable posix-style path for findings and scope patterns."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _error_names_in_tree(files: Sequence[Tuple[Path, str]]) -> frozenset:
+    """Class names from any ``errors.py`` among the linted files, so the
+    error-taxonomy rule tracks the tree's own taxonomy."""
+    names = set()
+    for path, source in files:
+        if path.name != "errors.py":
+            continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        names.update(node.name for node in tree.body
+                     if isinstance(node, ast.ClassDef))
+    return frozenset(names)
+
+
+def lint_paths(paths: Sequence, *,
+               rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint ``paths`` (files or directories) with the registered rules."""
+    resolved = [Path(p) for p in paths]
+    report = LintReport(paths=[str(p) for p in paths])
+    active = list(rules) if rules is not None else list(iter_rules())
+
+    sources: List[Tuple[Path, str]] = []
+    for path in iter_python_files(resolved):
+        try:
+            sources.append((path, path.read_text(encoding="utf-8")))
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read {path}: {error}") from None
+    error_names = _error_names_in_tree(sources)
+
+    for path, source in sources:
+        report.files_scanned += 1
+        display = _display(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            report.findings.append(Finding(
+                "parse-error", display, error.lineno or 1,
+                (error.offset or 1) - 1, f"syntax error: {error.msg}"))
+            continue
+        ctx = build_context(path, display, source, tree)
+        ctx.error_names = error_names
+        for finding in sorted(run_rules(ctx, active),
+                              key=lambda f: (f.line, f.col, f.rule)):
+            allows = list(ctx.pragmas.suppressions_for(
+                finding.rule, finding.line))
+            if allows:
+                report.suppressed.append(
+                    Suppression(finding, allows[0].justification))
+            else:
+                report.findings.append(finding)
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.suppressed.sort(
+        key=lambda s: (s.finding.path, s.finding.line, s.finding.rule))
+    return report

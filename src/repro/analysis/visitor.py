@@ -1,0 +1,115 @@
+"""One AST pass per file: context construction and rule dispatch.
+
+The linter parses each file exactly once into a :class:`FileContext`
+(source, AST, docstring, pragma index, and a few precomputed facts
+rules keep asking for: ``TYPE_CHECKING``-guarded line ranges, names
+bound by ``except ... as``), then walks the tree exactly once,
+dispatching every node to the rules that subscribed to its exact type.
+Adding a rule never adds a pass; linting the tree stays O(files).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .pragmas import PragmaIndex
+from .registry import Finding, Rule
+
+
+@dataclass
+class FileContext:
+    """Everything the rules may ask about one source file."""
+
+    path: Path
+    display: str                       # posix path findings are reported under
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+    docstring: str
+    #: package chain below the ``repro`` root, e.g. ("network", "tree")
+    #: for ``src/repro/network/tree.py``; None outside a repro tree.
+    module_parts: Optional[Tuple[str, ...]]
+    #: line numbers inside ``if TYPE_CHECKING:`` bodies (typing-only
+    #: imports are invisible at runtime, so layer checks skip them).
+    type_checking_lines: Set[int] = field(default_factory=set)
+    #: names bound by ``except ... as name`` anywhere in the file
+    #: (re-raising one is not "raising a new exception type").
+    handler_aliases: Set[str] = field(default_factory=set)
+    #: class names the error-taxonomy rule accepts; the runner widens
+    #: this with classes parsed from the linted tree's ``errors.py``.
+    error_names: FrozenSet[str] = frozenset()
+
+    @property
+    def layer(self) -> Optional[str]:
+        """The repro top-level package this file belongs to, if any."""
+        return self.module_parts[0] if self.module_parts else None
+
+
+def _repro_module_parts(path: Path) -> Optional[Tuple[str, ...]]:
+    """Path → package chain below the last ``repro`` directory.
+
+    ``src/repro/network/tree.py`` → ``("network", "tree")``;
+    ``src/repro/cli.py`` → ``("cli",)``; ``__init__`` segments are
+    kept (``src/repro/network/__init__.py`` → ``("network",
+    "__init__")``) so relative-import resolution can strip exactly
+    ``level`` trailing components for modules and packages alike. A
+    path with no ``repro`` segment → None (the file is not part of
+    the package, e.g. an ordinary test module — layer rules don't
+    apply).
+    """
+    parts = path.with_suffix("").parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro" and index < len(parts) - 1:
+            return parts[index + 1:]
+    return None
+
+
+def _collect_type_checking_lines(tree: ast.Module) -> Set[int]:
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") \
+            or (isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+        if is_tc:
+            for stmt in node.body:
+                lines.update(range(stmt.lineno,
+                                   (stmt.end_lineno or stmt.lineno) + 1))
+    return lines
+
+
+def _collect_handler_aliases(tree: ast.Module) -> Set[str]:
+    return {node.name for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler) and node.name}
+
+
+def build_context(path: Path, display: str, source: str,
+                  tree: ast.Module) -> FileContext:
+    return FileContext(
+        path=path, display=display, source=source, tree=tree,
+        pragmas=PragmaIndex(source),
+        docstring=ast.get_docstring(tree) or "",
+        module_parts=_repro_module_parts(path),
+        type_checking_lines=_collect_type_checking_lines(tree),
+        handler_aliases=_collect_handler_aliases(tree))
+
+
+def run_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Run every applicable rule over ``ctx`` in one tree walk."""
+    applicable = [rule for rule in rules if rule.applies(ctx)]
+    findings: List[Finding] = []
+    for rule in applicable:
+        findings.extend(rule.check_file(ctx))
+    dispatch: Dict[type, List[Rule]] = {}
+    for rule in applicable:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if dispatch:
+        for node in ast.walk(ctx.tree):
+            for rule in dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, ctx))
+    return findings

@@ -127,6 +127,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write a template scenario file")
     init.add_argument("path")
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically enforce the architecture book (docs/LINT.md): "
+             "RNG discipline, the layer DAG, switch-and-prove pairing "
+             "and friends; exit 0 clean, 1 findings, 2 on error")
+    lint.add_argument("paths", nargs="*", metavar="path",
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--output", default=None,
+                      help="also write the report to this file")
+    _add_format_argument(lint)
+
     perf = sub.add_parser(
         "perf",
         help="measure epochs/sec, messages/sec and RSS across fleet "
@@ -779,6 +793,36 @@ def _cmd_scenario_init(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_paths, rule_catalog
+
+    if args.list_rules:
+        catalog = rule_catalog()
+        if args.format == "json":
+            print(json.dumps({"schema": "kspot-lint/1", "rules": catalog},
+                             indent=2, sort_keys=True))
+        else:
+            width = max(len(rule["id"]) for rule in catalog)
+            for rule in catalog:
+                print(f"{rule['id']:<{width}}  {rule['summary']}")
+        return 0
+
+    report = lint_paths(args.paths or ["src/repro"])
+    rendered = report.to_json() if args.format == "json" \
+        else report.to_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        if args.format == "json":
+            # Keep stdout human-scannable when the JSON went to a file.
+            print(report.to_text())
+        else:
+            print(rendered)
+    else:
+        print(rendered)
+    return report.exit_code
+
+
 def _cmd_perf(args) -> int:
     from .errors import ConfigurationError
     from .perf import FLEET_SIZES, run_perf
@@ -885,6 +929,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scenario-init": _cmd_scenario_init,
         "savings": _cmd_savings,
         "perf": _cmd_perf,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -230,6 +230,7 @@ class TopKView:
         self._cached_outcome = None
         self._cached_snapshot = None
 
+    # repro: hot
     def ensure(self, group: GroupKey, lb: float, ub: float) -> bool:
         """Converge one group to ``[lb, ub]``; True when it changed.
 
@@ -269,6 +270,7 @@ class TopKView:
 
     # -- batch deltas ---------------------------------------------------
 
+    # repro: hot
     def apply(self, delta: BoundsDelta) -> None:
         """Apply one delta batch, validating its retractions.
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping
 
-from ..errors import PlanError, ValidationError
+from ..errors import PlanError
 from ..network.simulator import Network
 from ..query.ast_nodes import Predicate
 from ..query.eval import evaluate, references
@@ -27,7 +27,7 @@ from .centralized import Centralized
 from .fila import Fila
 from .mint import Mint, MintConfig
 from .naive import NaiveTopK
-from .results import EpochResult, RankedItem, oracle_top_k, rank_key
+from .results import EpochResult, RankedItem, rank_key
 from .tag import Tag
 from .tja import Tja, TjaResult
 from .tput import Tput, TputResult

@@ -13,6 +13,15 @@ This implementation monitors the top-k *nodes* by their current reading
 :func:`repro.core.certify.certify_top_k`: silent nodes contribute their
 filter interval as bounds — sound, because silence proves the reading
 stayed inside. Answers are therefore exact every epoch, like MINT's.
+
+Switch-and-prove: the fused monitor+bounds pass, the persistent
+``TopKView`` and the columnar batch-sensing loop run only while
+``hotpath.enabled()`` (and ``columnar.enabled()`` for the batch path);
+``hotpath.reference_path()`` restores the first-principles branches
+and the cold ``certify_top_k`` oracle, ``columnar.scalar_path()``
+isolates the data-layout win. ``tests/test_hotpath_equivalence.py``
+and ``tests/test_delta_equivalence.py`` prove every path
+byte-identical.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ from ..network.simulator import Network
 from .aggregates import Aggregate, Bounds
 from .certify import certify_top_k
 from .delta import TopKView
-from .results import EpochResult, rank_key
+from .results import EpochResult
 
 
 class _FilaColumns:

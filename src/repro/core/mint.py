@@ -26,6 +26,14 @@ correct answer ``(C, 75)`` emerges.
 An optional adaptive controller grows ``slack`` after epochs that
 probed and shrinks it after quiet ones, trading view size against
 probe traffic (ablated in experiment E10).
+
+Switch-and-prove: the fused single-pass update phase and the
+incremental ``TopKView`` certification run only while
+``hotpath.enabled()``; under ``hotpath.reference_path()`` the
+first-principles branches and the cold ``certify_top_k`` oracle take
+over. ``tests/test_hotpath_equivalence.py`` and
+``tests/test_delta_equivalence.py`` prove both paths byte-identical
+(answers, certifications, stats, ledgers, RNG draws).
 """
 
 from __future__ import annotations

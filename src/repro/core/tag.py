@@ -12,7 +12,8 @@ Like MINT, the per-epoch converge-cast runs on a fused hot path (see
 a memo, group sort keys are stringified once, leaves skip the merge
 machinery, and messages ship straight over the cached tree edge. The
 reference implementation remains in :meth:`Tag.run_epoch`'s reference
-branch and the equivalence property test holds both paths to identical
+branch — the oracle ``hotpath.reference_path()`` restores — and
+``tests/test_hotpath_equivalence.py`` holds both paths to identical
 messages, stats and answers.
 """
 

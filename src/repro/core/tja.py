@@ -26,7 +26,7 @@ algebra MINT uses, so TJA here supports AVG / SUM / MIN / MAX ranking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..errors import ProtocolError, ValidationError
 from ..network.messages import (

@@ -8,7 +8,7 @@ front-end) consumes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from typing import Hashable, Iterable
 
 from ..errors import ConfigurationError, ValidationError
 from ..query.ast_nodes import Query

@@ -10,9 +10,8 @@ and the radio range — everything needed to re-deploy the network.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Hashable
 
 from ..errors import ScenarioError
 from ..network.simulator import Network

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..errors import ValidationError
-from ..network.stats import NetworkStats, PhaseSnapshot
+from ..network.stats import NetworkStats
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ MICA2 (CC1000 @ 3 V): transmit ≈ 27 mA, receive/listen ≈ 10 mA, at
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..units import joules_from_current

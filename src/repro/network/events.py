@@ -25,7 +25,7 @@ The event carries everything a subscriber needs to scope its recovery:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class TopologyEventKind(enum.Enum):

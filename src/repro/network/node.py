@@ -140,6 +140,7 @@ class SensorNode:
             self.flash_index.insert(epoch, value)
             self._charge_flash(before)
 
+    # repro: hot
     def book_sample(self, attribute: str, epoch: int, value: float,
                     cost_joules: float) -> float:
         """One fused booking call for the planned batch-sampling loop.

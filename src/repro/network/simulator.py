@@ -23,8 +23,10 @@ traffic is batched per epoch into per-kind accumulators flushed at
 epoch/phase/tap boundaries, and tree traversal orders / live-children
 lookups are cached and invalidated on topology change. All of it is
 observationally identical to the reference path — same counters, same
-per-phase snapshots, same RNG draws — which stays available for
-equivalence testing via :func:`repro.network.hotpath.reference_path`.
+per-phase snapshots, same RNG draws — which stays available as the
+oracle via :func:`repro.network.hotpath.reference_path`;
+``tests/test_hotpath_equivalence.py`` proves the equivalence
+byte-for-byte.
 
 Randomness is split into *per-purpose streams*: the packet-loss process
 draws from one seeded RNG, while churn-recovery handshakes (attach /

@@ -36,8 +36,10 @@ module owns that scale-out layer:
   :class:`~repro.gui.stats.RecordedPanel` rebuilds.
 
 Merged results are a pure function of the cell set — the property
-tests drive random partitions and worker counts through this module
-and require byte-identical merges.
+tests (``tests/test_parallel.py``) drive random partitions and worker
+counts through this module and require byte-identical merges. Workers
+re-assert the hotpath switch, whose oracle stays reachable via
+``hotpath.reference_path()`` inside any shard.
 """
 
 from __future__ import annotations
@@ -137,15 +139,18 @@ def _execute_shard(worker: Callable[[object], dict], spec,
     """
     previous = hotpath.enabled()
     hotpath.set_enabled(hot)
+    # repro: allow[no-wall-clock] -- shard wall_seconds is harness measurement metadata in the envelope, never simulation state (epochs stay the only clock in-sim)
     started = time.perf_counter()
     try:
         payload = worker(spec)
         return ShardResult(key=key, payload=payload, error=None,
+                           # repro: allow[no-wall-clock] -- envelope timing metadata, not simulation state
                            wall_seconds=time.perf_counter() - started,
                            pid=os.getpid())
     except BaseException:
         return ShardResult(key=key, payload=None,
                            error=traceback.format_exc(),
+                           # repro: allow[no-wall-clock] -- envelope timing metadata, not simulation state
                            wall_seconds=time.perf_counter() - started,
                            pid=os.getpid())
     finally:
@@ -365,6 +370,7 @@ def run_sweep_cell(cell: SweepCell) -> dict:
     savings series (when shadowed), and the cell's throughput.
     """
     from .api import ChurnIntervention, Deployment, EpochDriver
+    # repro: allow[layer-dag] -- lazy back-edge: sweep cells reuse perf's fleet_scenario layouts; worker-local import keeps the executor below the harness at module-import time
     from .perf import fleet_scenario
     from .query.plan import Algorithm
     from .scenarios import preset_churn
@@ -391,8 +397,10 @@ def run_sweep_cell(cell: SweepCell) -> dict:
                           algorithm=Algorithm(algo) if algo else None)
         for algo, query in QUERY_MIXES[cell.mix]
     ]
+    # repro: allow[no-wall-clock] -- cell throughput (epochs/sec) is sweep measurement metadata; canonical() strips it before merge-equality checks
     started = time.perf_counter()
     driver.run(cell.epochs)
+    # repro: allow[no-wall-clock] -- cell throughput measurement, stripped by canonical()
     wall_seconds = time.perf_counter() - started
     network = scenario.network
     sessions = []

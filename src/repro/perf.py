@@ -37,7 +37,11 @@ incremental :class:`~repro.core.delta.TopKView`) and ``columnar``
 :mod:`repro.network.columnar` vs the scalar hot path, equivalence
 asserted on the measured workload before timing). Both are gated by
 ``benchmarks/check_perf_regression.py`` against the committed
-trajectory.
+trajectory. The harness only *times* the switches it flips: the
+hot-vs-oracle equivalence itself is owned by
+``tests/test_hotpath_equivalence.py`` and
+``tests/test_delta_equivalence.py``, with ``reference_path()`` /
+``scalar_path()`` restoring the unoptimized semantics.
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ constructed query).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from ..units import Duration

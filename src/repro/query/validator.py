@@ -8,13 +8,11 @@ Configuration Panel never defined. Validation happens at the sink,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ValidationError
 from .ast_nodes import (
-    AggregateCall,
     BoolOp,
-    ColumnRef,
     Comparison,
     NotOp,
     Predicate,

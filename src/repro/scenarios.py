@@ -18,10 +18,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable
 
-from .network.energy import EnergyModel
-from .network.link import RadioModel
 from .network.simulator import Network
 from .network.topology import RoomSpec, Topology, room_topology
 from .network.tree import RoutingTree
@@ -93,6 +91,7 @@ class Scenario:
     def deployment(self, **kwargs):
         """This scenario as a :class:`repro.api.Deployment` (keyword
         arguments forwarded — ``baseline_factory``, ``display``, ...)."""
+        # repro: allow[layer-dag] -- lazy convenience back-edge: scenario.deployment() hands the object to the facade above it; module import stays downward-only
         from .api import Deployment
 
         return Deployment.from_scenario(self, **kwargs)
@@ -102,6 +101,7 @@ class Scenario:
         """A :class:`repro.api.ChurnIntervention` over this deployment:
         a seeded preset schedule with newborn boards wired to this
         scenario's field (ready to hand to an ``EpochDriver``)."""
+        # repro: allow[layer-dag] -- lazy convenience back-edge, same contract as deployment() above
         from .api import ChurnIntervention
 
         schedule = churn_schedule(self, epochs, preset=preset, seed=seed,

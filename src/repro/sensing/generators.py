@@ -307,6 +307,7 @@ class ZipfEventField(ClusterField):
         run as whole-column ops (byte-identical; see base class —
         elementwise ``*``/``-``/``+`` and ``minimum``/``maximum`` are
         IEEE-identical to the scalar expressions in :meth:`value`)."""
+        # repro: allow[layer-dag] -- the column backend (numpy/array pair) lives beside its switch in network/columnar; lazy import so sensing stays importable below network
         from ..network import columnar
 
         np_ = columnar.numpy_module()
@@ -403,6 +404,7 @@ class RoomField(ClusterField):
         """Batch :meth:`value`: room levels resolved once per room,
         one reused per-cell RNG for the sensor noise, clamp vectorized
         over the column (byte-identical; see base class)."""
+        # repro: allow[layer-dag] -- column backend lives beside its switch in network/columnar, same contract as ZipfEventField.batch_values
         from ..network import columnar
 
         cluster_of = self._cluster_of

@@ -19,8 +19,6 @@ the flash energy meter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
-
 from ..errors import ConfigurationError, StorageError
 from .flash import FlashModel
 from .window import WindowEntry

@@ -11,7 +11,6 @@ from repro.scenarios import (
     conference_scenario,
     figure1_scenario,
     grid_rooms_scenario,
-    random_rooms_scenario,
 )
 
 

@@ -1,0 +1,6 @@
+"""Positive fixture: an api-tier module raising a builtin."""
+
+
+def admit(limit: int, active: int) -> None:
+    if active >= limit:
+        raise ValueError("admission limit reached")

@@ -1,0 +1,15 @@
+"""Negative fixture: the api tier speaks the errors.py taxonomy."""
+
+from repro.errors import SubmissionError
+
+
+def admit(limit: int, active: int) -> None:
+    if active >= limit:
+        raise SubmissionError("admission limit reached")
+
+
+def relay(error: Exception) -> None:
+    try:
+        raise SubmissionError("wrapped") from error
+    except SubmissionError as caught:
+        raise caught

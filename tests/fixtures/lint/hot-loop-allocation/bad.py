@@ -1,0 +1,10 @@
+"""Positive fixture: allocation idioms inside a ``# repro: hot`` body."""
+
+
+# repro: hot
+def rank(views: dict) -> list:
+    ranked = sorted(views.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    rows = []
+    for group, score in ranked:
+        rows.append([str(part) for part in (group, score)])
+    return rows

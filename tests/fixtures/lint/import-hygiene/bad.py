@@ -1,0 +1,8 @@
+"""Positive fixture: importing this module runs a call."""
+
+
+def configure() -> None:
+    pass
+
+
+configure()

@@ -1,0 +1,9 @@
+"""Negative fixture: the same call, guarded — import stays inert."""
+
+
+def configure() -> None:
+    pass
+
+
+if __name__ == "__main__":
+    configure()

@@ -1,0 +1,7 @@
+"""Positive fixture: a network/ module reaching up into api/."""
+
+from repro.api import Deployment
+
+
+def build() -> type:
+    return Deployment

@@ -1,0 +1,8 @@
+"""Negative fixture: core/ importing downward into network/ is a
+declared edge of the DAG."""
+
+from repro.network.simulator import Network
+
+
+def build() -> type:
+    return Network

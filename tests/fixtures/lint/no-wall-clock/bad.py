@@ -1,0 +1,11 @@
+"""Positive fixture: reads the wall clock outside perf.py."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return time.perf_counter()

@@ -1,0 +1,5 @@
+"""Negative fixture: epochs are the clock."""
+
+
+def stamp(epoch: int, epoch_duration_s: float) -> float:
+    return epoch * epoch_duration_s

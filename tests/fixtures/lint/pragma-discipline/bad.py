@@ -1,0 +1,9 @@
+"""Positive fixture: an allow pragma with no justification suppresses
+nothing and is itself a finding."""
+
+import time
+
+
+def stamp() -> float:
+    # repro: allow[no-wall-clock]
+    return time.time()

@@ -1,0 +1,9 @@
+"""Negative fixture: a justified suppression — the finding is recorded
+as suppressed, and the pragma itself is well-formed."""
+
+import time
+
+
+def stamp() -> float:
+    # repro: allow[no-wall-clock] -- fixture: demonstrates a documented measurement exception
+    return time.time()

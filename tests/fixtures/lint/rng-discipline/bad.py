@@ -1,0 +1,11 @@
+"""Positive fixture: draws from the hidden global random stream."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # the global Mersenne stream
+
+
+def reseed() -> None:
+    random.seed(42)  # entangles every other subsystem

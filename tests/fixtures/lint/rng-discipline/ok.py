@@ -1,0 +1,11 @@
+"""Negative fixture: one purpose-specific stream, seeded explicitly."""
+
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()

@@ -1,0 +1,9 @@
+"""Positive fixture: set iteration order shipped as ordered output."""
+
+
+def group_names(readings: dict) -> list:
+    return list({group for group, _ in readings.items()})
+
+
+def label(tags: set) -> str:
+    return ",".join({str(tag) for tag in tags})

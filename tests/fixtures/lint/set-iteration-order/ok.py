@@ -1,0 +1,9 @@
+"""Negative fixture: sets are sorted before becoming ordered output."""
+
+
+def group_names(readings: dict) -> list:
+    return sorted({group for group, _ in readings.items()}, key=str)
+
+
+def label(tags: set) -> str:
+    return ",".join(sorted({str(tag) for tag in tags}))

@@ -1,0 +1,10 @@
+"""Positive fixture: branches on the hotpath switch, but this
+docstring names neither the proof suite nor the unoptimized twin."""
+
+from repro.network import hotpath
+
+
+def run_epoch(state: dict) -> int:
+    if hotpath.enabled():
+        return state.get("fast", 0)
+    return state.get("slow", 0)

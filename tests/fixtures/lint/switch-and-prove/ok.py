@@ -1,0 +1,14 @@
+"""Negative fixture: the proof obligation is documented.
+
+The fused branch below is byte-identical to the reference branch the
+oracle ``hotpath.reference_path()`` restores;
+``tests/test_hotpath_equivalence.py`` proves it.
+"""
+
+from repro.network import hotpath
+
+
+def run_epoch(state: dict) -> int:
+    if hotpath.enabled():
+        return state.get("fast", 0)
+    return state.get("slow", 0)

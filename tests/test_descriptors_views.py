@@ -1,7 +1,5 @@
 """γ descriptors and view-state plumbing."""
 
-import pytest
-
 from repro.core.aggregates import Partial, make_aggregate
 from repro.core.descriptors import (
     local_gamma,

@@ -126,7 +126,6 @@ class TestWhereHandling:
                             algorithm=Algorithm.TAG)
         result = engine.run_epoch()
         # Rooms A (74, 75), C (75, 75), D (75, 78) survive; B is gone.
-        scores = {i.key: i.score for i in [result.top]}
         assert result.top.key == "D"
         assert result.top.score == pytest.approx(76.5)
 

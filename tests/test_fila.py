@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Fila, is_valid_top_k, oracle_scores
+from repro.core import Fila, oracle_scores
 from repro.core.aggregates import make_aggregate
 from repro.errors import ValidationError
 from repro.scenarios import grid_rooms_scenario

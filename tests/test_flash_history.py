@@ -1,7 +1,5 @@
 """Flash-backed history (§III-B's "on secondary memory" path)."""
 
-import pytest
-
 from repro.core import KSpotEngine
 from repro.query.plan import compile_query
 from repro.query.validator import Schema

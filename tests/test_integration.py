@@ -6,8 +6,6 @@ the cost ordering matches the paper's story, and the system keeps
 answering correctly through node failures and lossy links.
 """
 
-import pytest
-
 from repro.core import (
     Centralized,
     Mint,

@@ -1,7 +1,5 @@
 """Canonical scenarios: Figure-1 fidelity and generators."""
 
-import pytest
-
 from repro.core import Mint, MintConfig, NaiveTopK, Tag, oracle_scores
 from repro.core.aggregates import make_aggregate
 from repro.scenarios import (

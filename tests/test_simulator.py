@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, RoutingError, TopologyError
+from repro.errors import ConfigurationError, RoutingError
 from repro.network.link import RadioModel
 from repro.network.messages import ControlMessage, QueryMessage
 from repro.network.simulator import Network

@@ -1,7 +1,5 @@
 """Topology: placements, connectivity, room layouts."""
 
-import math
-
 import pytest
 
 from repro.errors import TopologyError

@@ -9,7 +9,6 @@ from repro.query.plan import (
     QueryClass,
     classify,
     compile_query,
-    make_plan,
 )
 from repro.query.validator import Schema, validate
 
