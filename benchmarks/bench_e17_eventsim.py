@@ -1,0 +1,104 @@
+"""E17 — discrete-event shipping core: event queue vs the inline path.
+
+The eventsim PR reroutes every ship through a discrete-event queue
+(:mod:`repro.network.eventsim`): ``_ship_unicast``/``_ship_broadcast``
+post delivery events keyed on ``(time, seq, node_id)`` instead of
+invoking receive handlers inline. In zero-delay mode the queue drains
+at the post site in exact inline order — byte-identical streams, which
+:func:`repro.perf.measure_eventsim` asserts on fresh deployments
+before timing anything — so the whole event layer must price as pure
+overhead on the epoch-synchronous workload. This benchmark holds that
+overhead bounded and prices the partitioned mode:
+
+* **zero-delay ratio** — event-core epochs/sec over inline epochs/sec
+  on the :func:`repro.perf.columnar_fleet` Zipf/FILA workload,
+  chunked-min with modes interleaved (``docs/PERF.md``). The bound at
+  N = 400 is **>= 0.9x** (measured ~0.99x: the queue indirection costs
+  about a percent);
+* **partitioned throughput** — per-subtree event streams let
+  independent replicas shard across worker processes, with the
+  serial-vs-worker signature equality asserted inside
+  ``measure_eventsim`` (cross-process determinism). With W workers on
+  >= W CPUs aggregate throughput must scale; a smaller host only
+  proves the partition/spawn overhead stays bounded.
+"""
+
+import _bootstrap  # noqa: F401  src/ path wiring for script runs
+
+import os
+
+from repro.perf import measure_eventsim
+
+from conftest import once
+
+#: Fleet sizes priced (400 is the gated size).
+SIZES = (100, 400)
+CHUNKS = 20
+CHUNK_EPOCHS = 10
+SEED = 11
+
+#: Zero-delay acceptance bound at N=400: the event queue may cost at
+#: most 10% of inline throughput on the epoch-synchronous workload.
+MIN_EVENT_RATIO = 0.9
+
+
+def run_experiment():
+    return [measure_eventsim(n=n, chunks=CHUNKS,
+                             chunk_epochs=CHUNK_EPOCHS, seed=SEED)
+            for n in SIZES]
+
+
+def test_e17_eventsim_core(benchmark, table):
+    measurements = once(benchmark, run_experiment)
+    cpus = os.cpu_count() or 1
+
+    rows = []
+    for m in measurements:
+        part = m["partitioned"]
+        rows.append([m["n_nodes"],
+                     f"{m['epochs_per_sec_inline']:.0f}",
+                     f"{m['epochs_per_sec_event']:.0f}",
+                     f"{m['speedup']:.2f}x",
+                     f"{m['events_per_epoch']:.0f}",
+                     f"{part['jobs']}w/{part['partitions']}p",
+                     f"{part['partition_speedup']:.2f}x"])
+    table(f"E17: event-core shipping (Zipf FILA, min over {CHUNKS} "
+          f"chunks of {CHUNK_EPOCHS} epochs, {cpus} CPUs visible)",
+          ["nodes", "inline epochs/s", "event epochs/s", "ratio",
+           "events/epoch", "partitioned", "part. scale"],
+          rows)
+
+    # measure_eventsim raises if the event-core stream diverges from
+    # the inline ship path's, or a partitioned worker's signature from
+    # the in-process run's — reaching here already proves both; the
+    # gates below price the overhead.
+    at_400 = next(m for m in measurements if m["n_nodes"] == 400)
+    assert at_400["speedup"] >= MIN_EVENT_RATIO, (
+        f"event core at N=400 runs at {at_400['speedup']:.2f}x inline "
+        f"throughput (floor {MIN_EVENT_RATIO:.1f}x)"
+    )
+
+    part = at_400["partitioned"]
+    usable = min(part["jobs"], cpus)
+    if usable >= 4:
+        # Independent replicas across >= 4 real CPUs must scale.
+        assert part["partition_speedup"] >= 1.5, (
+            f"{part['jobs']} partitioned workers on {cpus} CPUs "
+            f"scaled only {part['partition_speedup']:.2f}x "
+            f"(need >= 1.5x)")
+    elif usable > 1:
+        assert part["partition_speedup"] >= 0.5 * usable, (
+            f"{part['jobs']} partitioned workers on {cpus} CPUs "
+            f"scaled only {part['partition_speedup']:.2f}x "
+            f"(need >= {0.5 * usable:.1f}x)")
+    else:
+        # Single CPU: parallelism cannot help; prove the partition
+        # bookkeeping plus worker spawn stays bounded instead.
+        assert part["partition_speedup"] >= 0.25, (
+            f"partitioned overhead ate "
+            f"{1 - part['partition_speedup']:.0%} of serial "
+            f"throughput on a single CPU")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bootstrap.main(__file__))

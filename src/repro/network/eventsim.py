@@ -1,0 +1,159 @@
+"""Discrete-event simulator core — the third switch-and-prove layer.
+
+:mod:`repro.network.hotpath` made the epoch loop allocation-free and
+:mod:`repro.network.columnar` gave it a columnar data layout; both kept
+the *control flow* inline — a shipped message charges energy and
+counters in the middle of its caller's stack frame. This module is the
+control-flow half of the story: a deterministic discrete-event queue
+(:class:`EventQueue` of :class:`ScheduledEvent` entries, heap-keyed on
+``(time, seq, node_id)`` with the per-queue ``seq`` breaking ties so
+insertion order is total and the fire callable is never compared) that
+the simulator's shipping layer
+(:meth:`~repro.network.simulator.Network._ship_unicast` and friends)
+posts deliveries onto instead of invoking handlers inline, with the
+engine receive paths (the MINT/FILA/TAG fused passes) handed over as
+explicit ``deliver`` event handlers.
+
+**Switch-and-prove discipline** — the same contract as hotpath and
+columnar, stacked as the third switch. The event core is only *active*
+when the hot path is (:func:`enabled` consults both flags), so
+``hotpath.reference_path()`` still yields the pristine first-principles
+oracle, and :func:`inline_ship` isolates the event core from the other
+two switches. The modes:
+
+* **Zero-delay mode** (the default :class:`~repro.network.link.
+  RadioModel`: no propagation latency, no partitioning): every posted
+  event fires synchronously at its post site, so the queue drains in
+  the exact order the inline path ran — proven **byte-identical**
+  (answers, certifications, ledgers, by_kind/by_phase counters, RNG
+  draws) by
+  ``tests/test_hotpath_equivalence.py::TestEventsimEquivalence``
+  across the five-engine mix with churn.
+* **Delay mode** (``RadioModel.propagation_latency_s > 0``):
+  deliveries are timestamped with the sender's channel-busy time plus
+  per-link airtime plus propagation latency, and transport accounting
+  drains in timestamp order at the epoch barrier — the
+  asynchronous-radio scenario family. Engines still observe epoch
+  semantics through the *per-epoch lookahead window*: payload
+  delivery (the ``deliver`` handler) stays eager at the post site,
+  only the channel-time accounting defers, and stats phases are
+  replayed from the phase that was open when the event was posted.
+* **Partitioned mode**
+  (:meth:`~repro.network.simulator.Network.enable_subtree_partitioning`):
+  the sink's child subtrees get independent event streams — a queue
+  and a loss-RNG stream per subtree, derived via
+  ``repro.parallel.derive_seed`` from the deployment seed and the
+  subtree root's identity — with per-subtree stats batches merged at
+  the epoch barrier in sorted-root order. Subtree streams being
+  independent of each other is what lets ``repro perf`` parallelise
+  one large deployment's epoch across worker processes
+  (``measure_eventsim``'s partitioned section).
+
+``tests/test_eventsim.py`` pins the queue's deterministic
+tie-breaking, the delay-mode timeline, the latch coalescing under
+:meth:`~repro.network.simulator.Network.shared_epoch`, and the
+subtree-stream independence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from typing import Callable, Iterator, NamedTuple
+
+from . import hotpath
+
+
+class ScheduledEvent(NamedTuple):
+    """One queued delivery: fires at ``time`` (simulated seconds).
+
+    Tuple comparison orders the heap by ``(time, seq, node_id)``;
+    ``seq`` is unique per queue, so ties on ``time`` resolve by
+    insertion order and ``fire`` is never compared.
+    """
+
+    time: float
+    seq: int
+    node_id: int
+    fire: Callable[[], None]
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`ScheduledEvent` entries."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, node_id: int,
+             fire: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``fire`` at ``time``; returns the queued event."""
+        event = ScheduledEvent(time, self._seq, node_id, fire)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest event (IndexError when empty)."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> ScheduledEvent | None:
+        """The earliest event without removing it (None when empty)."""
+        return self._heap[0] if self._heap else None
+
+
+# --------------------------------------------------------------------
+# The switch (third in the hotpath -> columnar -> eventsim stack)
+# --------------------------------------------------------------------
+
+#: The event-core switch. Unlike hotpath/columnar it defaults OFF: the
+#: inline ship path remains the production default until a scenario
+#: asks for the event core (``--event-core`` / ``--latency``).
+_enabled = False
+
+
+def enabled() -> bool:
+    """True when the event core is active (eventsim switch on AND the
+    hot path enabled — :func:`hotpath.reference_path` therefore
+    disables the event core too, keeping the oracle pristine)."""
+    return _enabled and hotpath._enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Globally select the event-queue (True) or inline (False)
+    shipping layer. Takes effect on the next shipped message."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def event_core() -> Iterator[None]:
+    """Run the enclosed block with the event core enabled."""
+    previous = _enabled
+    set_enabled(True)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@contextmanager
+def inline_ship() -> Iterator[None]:
+    """Run the enclosed block on the inline ship path (the event
+    core's oracle): handlers invoked in the caller's frame, exactly as
+    the pre-event-core simulator did. The equivalence suite and
+    ``repro perf`` use this to hold the queue to the inline path."""
+    previous = _enabled
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

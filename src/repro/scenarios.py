@@ -163,13 +163,17 @@ def grid_rooms_scenario(side: int = 8, rooms_per_axis: int = 4,
                         attribute: str = "sound",
                         room_step: float = 4.0,
                         sensor_sigma: float = 1.5,
-                        radio_factor: float = 1.5) -> Scenario:
+                        radio_factor: float = 1.5,
+                        hash_gauss: bool = False) -> Scenario:
     """A ``side × side`` grid partitioned into square rooms.
 
     The standard scaling layout (E2/E3/E4/E9): ``rooms_per_axis²``
     rooms, each covering a block of the grid. ``skew > 0`` switches the
     field to Zipf-distributed room loudness, concentrating activity in
-    a few rooms.
+    a few rooms. ``hash_gauss=True`` opts the room field into the
+    hash-based Box–Muller noise stream (vectorizable; a deliberate RNG
+    break from the default Mersenne cells — see
+    :class:`~repro.sensing.generators.RoomField`).
     """
     from .network.topology import grid_topology
 
@@ -190,7 +194,8 @@ def grid_rooms_scenario(side: int = 8, rooms_per_axis: int = 4,
             room_of, lo=0.0, hi=100.0, skew=skew, jitter=5.0, seed=seed)
     else:
         field = RoomField(room_of, lo=0.0, hi=100.0, room_step=room_step,
-                          sensor_sigma=sensor_sigma, seed=seed)
+                          sensor_sigma=sensor_sigma, seed=seed,
+                          hash_gauss=hash_gauss)
     network = Network(
         topology,
         boards=_boards_for(room_of, attribute, field),

@@ -1,0 +1,343 @@
+"""Unit tests for the discrete-event simulator core.
+
+``tests/test_hotpath_equivalence.py::TestEventsimEquivalence`` owns
+the zero-delay byte-identity proof against the inline ship path; this
+suite pins the mechanics underneath it: the queue's deterministic
+tie-breaking, the delay-mode timeline (channel-busy cascade, barrier
+drains, phase replay), latch coalescing under ``shared_epoch``,
+stats-tap attribution across deferred streams, subtree partition
+stream independence, and the driver's ``max_events`` budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Deployment, EpochDriver
+from repro.errors import SessionError
+from repro.network import eventsim
+from repro.network.eventsim import EventQueue, ScheduledEvent
+from repro.network.link import RadioModel
+from repro.network.messages import ControlMessage
+from repro.network.simulator import Network
+from repro.network.stats import NetworkStats
+from repro.network.topology import grid_topology
+from repro.scenarios import grid_rooms_scenario
+
+LATENCY = 0.05
+
+
+def make_network(loss: float = 0.0, latency: float = 0.0,
+                 seed: int = 5) -> Network:
+    return Network(grid_topology(3),
+                   radio=RadioModel(range_m=20.0, loss_probability=loss,
+                                    propagation_latency_s=latency),
+                   seed=seed)
+
+
+def a_leaf(network: Network) -> int:
+    """A sensor with no tree children (its send_up is one hop)."""
+    return next(n for n in network.tree.sensor_ids
+                if not network.tree.children(n))
+
+
+def a_deep_node(network: Network) -> int:
+    """A sensor whose parent is itself a sensor (depth >= 2)."""
+    return next(n for n in network.tree.sensor_ids
+                if len(network.tree.path_to_root(n)) >= 3)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, 7, lambda: fired.append("late"))
+        queue.push(1.0, 9, lambda: fired.append("early"))
+        queue.push(1.5, 1, lambda: fired.append("mid"))
+        while queue:
+            queue.pop().fire()
+        assert fired == ["early", "mid", "late"]
+
+    def test_ties_resolve_by_insertion_order(self):
+        """Same-time events pop in push order: the per-queue seq beats
+        node_id in the heap key, so scheduling never depends on which
+        node ids happen to collide on a timestamp."""
+        queue = EventQueue()
+        pushed = [queue.push(1.0, node_id, lambda: None)
+                  for node_id in (9, 3, 7, 1)]
+        assert [queue.pop() for _ in range(4)] == pushed
+
+    def test_fire_and_node_never_compared(self):
+        """seq is unique, so comparison stops before node_id/fire —
+        identical (time, node_id) pairs with unorderable callables must
+        not raise."""
+        queue = EventQueue()
+        queue.push(1.0, 4, lambda: None)
+        queue.push(1.0, 4, lambda: None)
+        first = queue.pop()
+        second = queue.pop()
+        assert first.seq < second.seq
+
+    def test_peek_len_bool(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        assert queue.peek() is None
+        event = queue.push(3.0, 2, lambda: None)
+        assert queue
+        assert len(queue) == 1
+        assert queue.peek() is event
+        assert queue.pop() is event
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_scheduled_event_is_a_plain_tuple(self):
+        fire = lambda: None  # noqa: E731
+        event = ScheduledEvent(1.0, 0, 4, fire)
+        assert (event.time, event.seq, event.node_id, event.fire) \
+            == (1.0, 0, 4, fire)
+
+
+class TestZeroDelayMode:
+    def test_events_fire_at_the_post_site(self):
+        with eventsim.event_core():
+            network = make_network()
+            network.send_up(a_leaf(network), ControlMessage(label="m"))
+            assert network.events_processed == 1
+            assert not network._events
+            assert network.sim_time_s == 0.0
+
+    def test_disabled_core_fires_no_events(self):
+        network = make_network()
+        network.send_up(a_leaf(network), ControlMessage(label="m"))
+        network.advance_epoch()
+        assert network.events_processed == 0
+
+
+class TestDelayMode:
+    def test_delivery_defers_to_the_barrier(self):
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            network.send_up(a_leaf(network), ControlMessage(label="m"))
+            assert len(network._events) == 1
+            assert network.events_processed == 0
+            network.advance_epoch()
+            assert not network._events
+            assert network.events_processed == 1
+            assert network.sim_time_s >= LATENCY
+
+    def test_sender_channel_busy_cascade(self):
+        """Back-to-back sends from one node serialize on its channel:
+        the second arrival is one airtime after the first."""
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            leaf = a_leaf(network)
+            network.send_up(leaf, ControlMessage(label="m"))
+            network.send_up(leaf, ControlMessage(label="m"))
+            first, second = sorted(network._events._heap)[:2]
+            air = first.time - LATENCY  # arrival = 0 + air + latency
+            assert air > 0
+            assert second.time == pytest.approx(2 * air + LATENCY)
+
+    def test_receiver_waits_for_arrival(self):
+        """A node that just received cannot transmit before the
+        arrival: its next send departs at the arrival time."""
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            deep = a_deep_node(network)
+            parent = network.tree.path_to_root(deep)[1]
+            network.send_up(deep, ControlMessage(label="m"))
+            arrival = network._node_ready[parent]
+            network.send_up(parent, ControlMessage(label="m"))
+            second = max(event.time
+                         for event in network._events._heap)
+            air = network._node_ready[deep]  # deep: busy for one airtime
+            assert arrival == pytest.approx(air + LATENCY)
+            assert second == pytest.approx(arrival + air + LATENCY)
+
+    def test_barrier_resets_channel_state(self):
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            network.send_up(a_leaf(network), ControlMessage(label="m"))
+            network.advance_epoch()
+            assert network._node_ready == {}
+            assert network._epoch_start_s == network.sim_time_s
+
+    def test_lossless_totals_match_inline(self):
+        """Deferring the transport accounting must not change what is
+        accounted: counters, per-phase snapshots (replayed from the
+        phase open at the post site) and energy ledgers all match the
+        inline path on a lossless workload."""
+
+        def run(delay: bool):
+            network = make_network(latency=LATENCY if delay else 0.0,
+                                   seed=3)
+            sensors = network.tree.sensor_ids
+            context = (eventsim.event_core() if delay
+                       else eventsim.inline_ship())
+            with context:
+                with network.stats.phase("aggregation"):
+                    for index in range(12):
+                        network.send_up(
+                            sensors[index % len(sensors)],
+                            ControlMessage(label="x", size=index))
+                network.advance_epoch()
+            return (network.stats.summary(),
+                    dict(network.stats.by_kind),
+                    dict(network.stats.by_phase),
+                    {i: network.ledger(i).total
+                     for i in network.tree.sensor_ids})
+
+        assert run(delay=True) == run(delay=False)
+
+
+class TestBarriers:
+    def test_latch_coalescing_under_shared_epoch(self):
+        """Inside shared_epoch each session's advance_epoch drains the
+        deferred streams immediately but the clock tick stays latched:
+        one real advance on exit, however many sessions closed."""
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            epoch0 = network.epoch
+            with network.shared_epoch():
+                network.send_up(a_leaf(network), ControlMessage(label="m"))
+                network.advance_epoch()
+                assert network.events_processed == 1
+                assert network.epoch == epoch0
+                network.advance_epoch()
+                assert network.epoch == epoch0
+            assert network.epoch == epoch0 + 1
+
+    def test_tap_sees_only_the_blocks_deferred_traffic(self):
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            leaf = a_leaf(network)
+            network.send_up(leaf, ControlMessage(label="m"))  # pre-tap
+            tap = NetworkStats()
+            with network.tap_stats(tap):
+                network.send_up(leaf, ControlMessage(label="m"))
+            assert tap.messages == 1
+            assert network.stats.messages == 2
+
+    def test_nested_taps_unregister_by_identity(self):
+        """Two freshly-registered taps have equal counters; exiting
+        the inner block must remove the inner tap object, not the
+        equal-valued outer one."""
+        with eventsim.event_core():
+            network = make_network(latency=LATENCY)
+            leaf = a_leaf(network)
+            outer, inner = NetworkStats(), NetworkStats()
+            with network.tap_stats(outer):
+                with network.tap_stats(inner):
+                    pass  # inner exits with counters equal to outer's
+                network.send_up(leaf, ControlMessage(label="m"))
+                with network.tap_stats(inner):
+                    network.send_up(leaf, ControlMessage(label="m"))
+                network.send_up(leaf, ControlMessage(label="m"))
+            assert inner.messages == 1
+            assert outer.messages == 3
+            assert network._stat_taps == []
+
+
+class TestSubtreePartitioning:
+    @staticmethod
+    def _partitioned(loss=0.2, seed=5) -> Network:
+        network = make_network(loss=loss, seed=seed)
+        network.enable_subtree_partitioning()
+        return network
+
+    def test_grid_has_multiple_subtrees(self):
+        network = make_network()
+        roots = {network._subtree_root(n)
+                 for n in network.tree.sensor_ids}
+        assert len(roots) >= 2
+
+    def _retransmissions(self, send_a: bool, send_b: bool) -> int:
+        with eventsim.event_core():
+            network = self._partitioned()
+            by_root: dict[int, int] = {}
+            for node in network.tree.sensor_ids:
+                by_root.setdefault(network._subtree_root(node), node)
+            node_a, node_b = sorted(by_root.values())[:2]
+            for _ in range(8):
+                if send_a:
+                    network.send_up(node_a, ControlMessage(label="a"))
+                if send_b:
+                    network.send_up(node_b, ControlMessage(label="b"))
+                network.advance_epoch()
+            return network.stats.retransmissions
+
+    def test_streams_are_independent(self):
+        """Per-subtree loss RNGs make retransmission counts additive:
+        subtree A's draws are untouched by whether B transmits at all
+        (one global stream could never promise this)."""
+        both = self._retransmissions(send_a=True, send_b=True)
+        only_a = self._retransmissions(send_a=True, send_b=False)
+        only_b = self._retransmissions(send_a=False, send_b=True)
+        assert both == only_a + only_b
+        assert both > 0
+
+    def test_deterministic_across_runs(self):
+        def signature():
+            with eventsim.event_core():
+                network = self._partitioned()
+                sensors = network.tree.sensor_ids
+                for index in range(20):
+                    network.send_up(sensors[index % len(sensors)],
+                                    ControlMessage(label="x"))
+                    if index % 5 == 4:
+                        network.advance_epoch()
+                network.advance_epoch()
+                return (network.stats.summary(),
+                        network.events_processed,
+                        sorted(network._partitions))
+
+        assert signature() == signature()
+
+    def test_sink_dissemination_is_its_own_stream(self):
+        with eventsim.event_core():
+            network = self._partitioned(loss=0.0)
+            network.flood_down(lambda _: ControlMessage(label="q"))
+            network.advance_epoch()
+            assert network.sink_id in network._partitions
+
+    def test_disabling_drains_pending_streams(self):
+        with eventsim.event_core():
+            network = self._partitioned(loss=0.0)
+            network.send_up(a_leaf(network), ControlMessage(label="m"))
+            assert network.events_processed == 0
+            network.enable_subtree_partitioning(False)
+            assert network.events_processed == 1
+            assert network._partitions is None
+
+
+class TestDriverEventBudget:
+    @staticmethod
+    def _deployment() -> Deployment:
+        scenario = grid_rooms_scenario(side=3, rooms_per_axis=1, seed=2)
+        deployment = Deployment.from_scenario(scenario)
+        deployment.submit(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors "
+            "GROUP BY roomid EPOCH DURATION 1 min")
+        return deployment
+
+    def test_step_raises_once_budget_spent(self):
+        with eventsim.event_core():
+            driver = EpochDriver(self._deployment(), max_events=1)
+            driver.step()
+            assert driver.deployment.network.events_processed >= 1
+            with pytest.raises(SessionError, match="max_events"):
+                driver.step()
+
+    def test_stream_ends_without_raising(self):
+        with eventsim.event_core():
+            driver = EpochDriver(self._deployment(), max_events=1)
+            assert len(list(driver.stream(10))) == 1
+
+    def test_max_events_bounds_an_unbounded_run(self):
+        """run() with no epoch count is legal when max_events bounds
+        it — the event-core twin of max_epochs."""
+        with eventsim.event_core():
+            driver = EpochDriver(self._deployment(), max_events=50)
+            driver.run()
+            assert driver.deployment.network.events_processed >= 50

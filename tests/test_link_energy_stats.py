@@ -45,6 +45,50 @@ class TestRadioModel:
         with pytest.raises(ConfigurationError):
             RadioModel(bitrate_bps=0)
 
+    def test_airtime_scales_with_bitrate_and_size(self):
+        slow = RadioModel(bitrate_bps=19_200)
+        assert slow.airtime_seconds(10) == pytest.approx(10 * 8 / 19_200)
+        assert slow.airtime_seconds(20) == pytest.approx(
+            2 * slow.airtime_seconds(10))
+        assert slow.airtime_seconds(0) == 0.0
+        assert RadioModel(bitrate_bps=38_400).airtime_seconds(10) \
+            == pytest.approx(slow.airtime_seconds(10) / 2)
+
+    def test_exhaustion_draws_exactly_the_retry_budget(self):
+        """A drop consumes max_retries + 1 RNG draws — no more, no
+        fewer — so the loss stream stays aligned across paths."""
+
+        class AlwaysLost:
+            draws = 0
+
+            def random(self):
+                self.draws += 1
+                return 0.0  # always below loss_probability: lost
+
+        radio = RadioModel(loss_probability=0.9, max_retries=3)
+        rng = AlwaysLost()
+        with pytest.raises(RoutingError, match="after 4 attempts"):
+            radio.attempts_needed(rng)
+        assert rng.draws == 4
+
+    def test_success_stops_drawing(self):
+        class SucceedSecond:
+            sequence = [0.0, 0.99]
+
+            def random(self):
+                return self.sequence.pop(0)
+
+        radio = RadioModel(loss_probability=0.5, max_retries=5)
+        assert radio.attempts_needed(SucceedSecond()) == 2
+
+    def test_propagation_latency_default_and_validation(self):
+        assert RadioModel().propagation_latency_s == 0.0
+        assert RadioModel(
+            propagation_latency_s=0.25).propagation_latency_s == 0.25
+        for bad in (-0.1, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                RadioModel(propagation_latency_s=bad)
+
 
 class TestEnergyModel:
     def test_tx_costs_more_than_rx(self):
